@@ -1,0 +1,81 @@
+// Command kml-figure2 reproduces Figure 2 of the paper: a per-second
+// timeline of RocksDB's mixgraph workload on the NVMe model, comparing
+// vanilla and KML-tuned throughput and showing the readahead value the
+// model selects each second (including the early fluctuations the paper
+// discusses — the cache starts cold, so the first windows look different
+// from steady state).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/bench"
+	"repro/internal/readahead"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "8x smaller environment for a fast pass")
+	trainSeconds := flag.Int("train-seconds", 20, "virtual seconds per training run")
+	seconds := flag.Int("seconds", 30, "timeline length in virtual seconds")
+	device := flag.String("device", "nvme", "device model: nvme or ssd")
+	csvOut := flag.String("csv", "", "also write the series to this CSV file")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	var cfg = bench.DefaultNVMeConfig(*seed)
+	if *device == "ssd" {
+		cfg = bench.DefaultSSDConfig(*seed)
+	}
+	trainCfg := bench.DefaultNVMeConfig(*seed) // the paper always trains on NVMe
+	if *quick {
+		cfg = bench.QuickConfig(cfg)
+		trainCfg = bench.QuickConfig(trainCfg)
+	}
+
+	fmt.Println("training classifier on NVMe...")
+	bundle, _, _, err := bench.TrainNNBundle(trainCfg,
+		readahead.DatasetConfig{SecondsPerRun: *trainSeconds},
+		readahead.TrainConfig{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := bench.RunFigure2(cfg, *seconds, bundle)
+	if err != nil {
+		fatal(err)
+	}
+	res.Write(os.Stdout)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		w := csv.NewWriter(f)
+		w.Write([]string{"second", "vanilla_ops", "kml_ops", "kml_ra_sectors"})
+		for _, p := range res.Points {
+			w.Write([]string{
+				strconv.Itoa(p.Second),
+				strconv.FormatFloat(p.VanillaOps, 'f', 0, 64),
+				strconv.FormatFloat(p.KMLOps, 'f', 0, 64),
+				strconv.Itoa(p.RASectors),
+			})
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

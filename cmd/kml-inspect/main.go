@@ -1,0 +1,126 @@
+// Command kml-inspect examines KML deployment artifacts: the network model
+// file (.kml), the normalizer (.norm), and the decision tree (.dtree) that
+// cmd/kml-train produces — the files a kernel module would load in the
+// paper's deploy step. It prints architecture, parameter statistics, and
+// memory footprints, and verifies the checksums by loading.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dtree"
+	"repro/internal/features"
+	"repro/internal/nn"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: kml-inspect <file.kml|file.norm|file.dtree> ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := inspect(path); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func inspect(path string) error {
+	switch {
+	case strings.HasSuffix(path, ".norm"):
+		return inspectNorm(path)
+	case strings.HasSuffix(path, ".dtree"):
+		return inspectTree(path)
+	default:
+		return inspectModel(path)
+	}
+}
+
+func inspectModel(path string) error {
+	net, err := nn.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: KML neural network (checksum OK)\n", path)
+	fmt.Printf("  architecture:      %s\n", net)
+	fmt.Printf("  inputs -> outputs: %d -> %d\n", net.InDim(), net.OutDim())
+	fmt.Printf("  parameters:        %d (%d bytes as float64)\n", net.ParamCount(), net.ParamBytes())
+	fmt.Printf("  inference scratch: %d bytes\n", net.InferenceScratchBytes())
+	// Weight statistics per parameter tensor.
+	for i, p := range net.Params() {
+		var min, max, sum float64
+		for j, v := range p.Data() {
+			if j == 0 || v < min {
+				min = v
+			}
+			if j == 0 || v > max {
+				max = v
+			}
+			sum += v
+		}
+		n := float64(len(p.Data()))
+		fmt.Printf("  tensor %d: %dx%d  min %+.4f  max %+.4f  mean %+.4f\n",
+			i, p.Rows(), p.Cols(), min, max, sum/n)
+	}
+	if fx, err := nn.CompileFixed(net); err == nil {
+		fmt.Printf("  fixed-point (Q16.16) size: %d bytes\n", fx.ParamBytes())
+	}
+	if f32, err := nn.CompileFloat32(net); err == nil {
+		fmt.Printf("  float32 size:              %d bytes\n", f32.ParamBytes())
+	}
+	return nil
+}
+
+func inspectNorm(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	norm, err := features.LoadNormalizer(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: KML feature normalizer\n", path)
+	names := features.Names()
+	selected := map[int]bool{}
+	for _, s := range features.Selected {
+		selected[s] = true
+	}
+	for i, z := range norm.Z {
+		mark := " "
+		if selected[i] {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-24s mean %12.3f  stddev %12.3f\n", mark, names[i], z.Mean, z.StdDev)
+	}
+	fmt.Println("  (* = selected as model input)")
+	return nil
+}
+
+func inspectTree(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := dtree.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: KML decision tree (checksum OK)\n", path)
+	fmt.Printf("  features: %d   classes: %d\n", t.Features(), t.Classes())
+	fmt.Printf("  nodes:    %d   depth: %d\n", t.Nodes(), t.Depth())
+	return nil
+}

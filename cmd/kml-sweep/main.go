@@ -1,0 +1,79 @@
+// Command kml-sweep reproduces the paper's "studying the problem"
+// experiment (E1 in DESIGN.md): it runs the benchmark workloads under 20
+// readahead settings from 8 to 1024 sectors on the NVMe and SATA-SSD
+// device models and prints the throughput surface plus the best value per
+// workload — the empirical mapping the KML readahead policy is built from.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	device := flag.String("device", "both", "device model: nvme, ssd, or both")
+	seconds := flag.Int("seconds", 10, "virtual seconds per run")
+	quick := flag.Bool("quick", false, "8x smaller environment for a fast pass")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trainOnly := flag.Bool("train-only", false, "sweep only the four training workloads")
+	keys := flag.Int("keys", 0, "override key-space size")
+	cachePages := flag.Int("cache-pages", 0, "override page-cache size")
+	cpuGet := flag.Duration("cpu-get", 0, "override per-Get CPU cost")
+	only := flag.String("only", "", "sweep a single workload by name")
+	flag.Parse()
+
+	kinds := workload.AllKinds()
+	if *trainOnly {
+		kinds = workload.TrainingKinds()
+	}
+	if *only != "" {
+		kinds = nil
+		for _, k := range workload.AllKinds() {
+			if k.String() == *only {
+				kinds = []workload.Kind{k}
+			}
+		}
+		if kinds == nil {
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *only)
+			os.Exit(2)
+		}
+	}
+	var cfgs []sim.Config
+	switch *device {
+	case "nvme":
+		cfgs = []sim.Config{bench.DefaultNVMeConfig(*seed)}
+	case "ssd":
+		cfgs = []sim.Config{bench.DefaultSSDConfig(*seed)}
+	case "both":
+		cfgs = []sim.Config{bench.DefaultNVMeConfig(*seed), bench.DefaultSSDConfig(*seed)}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+	for _, cfg := range cfgs {
+		if *quick {
+			cfg = bench.QuickConfig(cfg)
+		}
+		if *keys != 0 {
+			cfg.Keys = *keys
+		}
+		if *cachePages != 0 {
+			cfg.CachePages = *cachePages
+		}
+		if *cpuGet != 0 {
+			cfg.CPUGet = *cpuGet
+		}
+		res, err := bench.RunSweep(cfg, kinds, nil, *seconds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res.Write(os.Stdout)
+		fmt.Printf("derived policy (sectors by class): %v\n\n", res.Policy())
+	}
+}

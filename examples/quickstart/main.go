@@ -1,0 +1,100 @@
+// Quickstart: build, train, validate, save, load, and quantize a KML
+// neural network — the §2 library workflow in ~100 lines.
+//
+//	go run ./examples/quickstart
+//
+// It trains a small classifier on a synthetic two-moons-style problem
+// using the paper's optimizer (SGD, lr=0.01, momentum=0.99), saves it in
+// the KML model file format, reloads it (the "deploy into the kernel"
+// step), and compiles it to fixed-point Q16.16 inference for FPU-less
+// contexts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/nn"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Synthetic dataset: two interleaved half-circles, 2 features, 2 classes.
+	const n = 400
+	x := nn.NewMat(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		class := i % 2
+		angle := rng.Float64() * math.Pi
+		r := 1.0 + rng.NormFloat64()*0.1
+		if class == 0 {
+			x.Set(i, 0, r*math.Cos(angle))
+			x.Set(i, 1, r*math.Sin(angle))
+		} else {
+			x.Set(i, 0, 1-r*math.Cos(angle))
+			x.Set(i, 1, 0.5-r*math.Sin(angle))
+		}
+		y[i] = class
+	}
+
+	// The paper's readahead architecture shape: linear layers joined by
+	// sigmoid activations.
+	net := nn.NewNetwork(
+		nn.NewLinear(2, 16, rng), nn.NewSigmoid(),
+		nn.NewLinear(16, 16, rng), nn.NewSigmoid(),
+		nn.NewLinear(16, 2, rng),
+	)
+	fmt.Printf("model: %s (%d params, %d bytes)\n", net, net.ParamCount(), net.ParamBytes())
+
+	loss := nn.NewCrossEntropy()
+	opt := nn.NewSGD(0.01, 0.99) // the paper's optimizer settings
+	for epoch := 0; epoch <= 500; epoch++ {
+		lv := net.TrainBatch(x, nn.ClassTarget(y), loss, opt)
+		if epoch%100 == 0 {
+			fmt.Printf("epoch %3d  loss %.4f  accuracy %.1f%%\n", epoch, lv, accuracy(net, x, y)*100)
+		}
+	}
+
+	// Save in the KML model file format and reload — the user-space-train,
+	// kernel-deploy workflow of §3.3.
+	path := filepath.Join(os.TempDir(), "quickstart.kml")
+	if err := net.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := nn.LoadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved and reloaded %s: accuracy %.1f%%\n", path, accuracy(loaded, x, y)*100)
+
+	// Compile to integer-only inference (for kernels without FPU access).
+	fixed, err := nn.CompileFixed(loaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agree := 0
+	var buf nn.PredictBuffer
+	for i := 0; i < n; i++ {
+		if fixed.Predict(x.Row(i)) == loaded.Predict(x.Row(i), &buf) {
+			agree++
+		}
+	}
+	fmt.Printf("fixed-point (Q16.16) model: %d bytes, agrees with float on %.1f%% of inputs\n",
+		fixed.ParamBytes(), float64(agree)/float64(n)*100)
+}
+
+func accuracy(net *nn.Network, x *nn.Mat, y []int) float64 {
+	out := net.Forward(x)
+	correct := 0
+	for i, want := range y {
+		if out.ArgMaxRow(i) == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(y))
+}

@@ -1,0 +1,61 @@
+// Readahead tuning: the full closed loop of the paper's case study on a
+// small simulated testbed.
+//
+//	go run ./examples/readahead-tuning
+//
+// It trains the workload classifier on the NVMe device model (training
+// workloads only), then deploys it against the never-seen mixgraph
+// workload: tracepoints stream through the lock-free KML pipeline, a
+// feature window is classified once per second, and the predicted class
+// drives the device readahead setting. The example prints the per-second
+// decisions and the resulting speedup over the untouched system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/blockdev"
+	"repro/internal/readahead"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	trainCfg := sim.Config{Profile: blockdev.NVMe(), Keys: 8000, CachePages: 640, Seed: 11}
+	runCfg := trainCfg // deploy on the same device class here; see kml-table2 for SSD
+
+	fmt.Println("training classifier (4 training workloads on NVMe)...")
+	bundle, _, _, err := bench.TrainNNBundle(trainCfg,
+		readahead.DatasetConfig{SecondsPerRun: 8},
+		readahead.TrainConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const seconds = 8
+	fmt.Printf("\nrunning mixgraph (never seen in training) for %d virtual seconds...\n", seconds)
+	base, err := bench.RunVanilla(runCfg, workload.MixGraph, seconds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned, decisions, err := bench.RunKML(runCfg, workload.MixGraph, seconds, bundle)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nper-second tuning decisions:")
+	classNames := [workload.NumClasses]string{"readseq", "readrandom", "readreverse", "readrandomwriterandom"}
+	for i, d := range decisions {
+		fmt.Printf("  t=%2ds  predicted=%-22s readahead=%4d sectors  (%d tracepoints)\n",
+			i+1, classNames[d.Class%len(classNames)], d.Sectors, d.Events)
+	}
+
+	fmt.Printf("\nvanilla:   %8.0f ops/sec (readahead fixed at %d sectors)\n",
+		base.OpsPerSec(), blockdev.DefaultReadaheadSectors)
+	fmt.Printf("KML-tuned: %8.0f ops/sec (%d ops, %d ring drops)\n",
+		tuned.OpsPerSec(), tuned.Ops, tuned.Dropped)
+	fmt.Printf("speedup:   %.2fx (the paper reports 1.51x for mixgraph on NVMe)\n",
+		tuned.OpsPerSec()/base.OpsPerSec())
+}

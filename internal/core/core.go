@@ -1,0 +1,307 @@
+// Package core is the KML framework proper: it ties together the ML library
+// (nn, dtree), the lock-free circular buffer, and the asynchronous training
+// thread, and exposes the programming model of the paper's Table 1 API —
+// create a model, collect data on the hot path, process/normalize/train
+// asynchronously, switch between training and inference modes, and
+// save/load models for deployment.
+//
+// The contract mirrors §3.2 of the paper: data collection happens inline on
+// latency-sensitive paths and must cost nanoseconds (a ring-buffer push);
+// normalization and training run on one dedicated asynchronous goroutine —
+// the "training thread" — because the prototype "supports only chain
+// computation graphs that have to be processed serially".
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memutil"
+	"repro/internal/ringbuf"
+)
+
+// Mode selects what the pipeline does with collected data. Users "can
+// switch between training and inference modes as needed to adapt
+// automatically to ever-changing conditions" (§3.3).
+type Mode int32
+
+// Pipeline modes.
+const (
+	// ModeOff discards collected samples.
+	ModeOff Mode = iota
+	// ModeTraining routes samples to the handler for training.
+	ModeTraining
+	// ModeInference routes samples to the handler for feature extraction
+	// and prediction.
+	ModeInference
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeTraining:
+		return "training"
+	case ModeInference:
+		return "inference"
+	default:
+		return fmt.Sprintf("mode(%d)", int32(m))
+	}
+}
+
+// Classifier is a deployable KML model: anything that maps a feature vector
+// to a class. Both model families the paper supports satisfy it (a neural
+// network via a small adapter owning its PredictBuffer, and a decision
+// tree directly).
+type Classifier interface {
+	// Predict returns the class index for one feature vector.
+	Predict(features []float64) int
+	// Name identifies the model family, e.g. "readahead-nn".
+	Name() string
+}
+
+// Config parameterizes a Pipeline.
+type Config struct {
+	// BufferCapacity sizes the lock-free ring (§3.1: "The circular buffer's
+	// size is configurable to cap memory usage"). Rounded to a power of two;
+	// 0 means 4096 entries.
+	BufferCapacity int
+	// BatchSize is the maximum number of samples handed to the handler per
+	// wakeup; 0 means 256.
+	BatchSize int
+	// Poll is the handler thread's poll interval when idle; 0 means 1ms.
+	Poll time.Duration
+	// Arena, when set, is charged for the ring buffer so the framework's
+	// footprint is observable (§3.1 memory accounting). Charging failure
+	// (reservation exceeded) fails pipeline construction like a failed
+	// kmalloc would.
+	Arena *memutil.Arena
+	// SampleBytes is the accounted size of one sample for Arena charging;
+	// 0 means 16 (the readahead record size).
+	SampleBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BufferCapacity == 0 {
+		c.BufferCapacity = 4096
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.Poll == 0 {
+		c.Poll = time.Millisecond
+	}
+	if c.SampleBytes == 0 {
+		c.SampleBytes = 16
+	}
+	return c
+}
+
+// Handler consumes a drained batch of samples under the given mode.
+// It runs on the pipeline's training goroutine, so it may freely use
+// floating point and allocate — exactly the work §3.2 offloads off the
+// I/O path.
+type Handler[S any] func(batch []S, mode Mode)
+
+// ErrReservation reports that the configured memory arena rejected the
+// pipeline's buffer charge.
+var ErrReservation = errors.New("core: memory reservation exceeded")
+
+// Pipeline is the KML data path: lock-free collection feeding one
+// asynchronous processing goroutine.
+type Pipeline[S any] struct {
+	cfg  Config
+	ring *ringbuf.Ring[S]
+	mode atomic.Int32
+
+	handler Handler[S]
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	started atomic.Bool
+
+	collected atomic.Uint64
+	processed atomic.Uint64
+
+	chargeOnce sync.Once
+	charged    int64
+}
+
+// NewPipeline builds a pipeline around handler. The pipeline starts in
+// ModeOff; call Start and SetMode to begin processing.
+func NewPipeline[S any](cfg Config, handler Handler[S]) (*Pipeline[S], error) {
+	if handler == nil {
+		return nil, errors.New("core: nil handler")
+	}
+	cfg = cfg.withDefaults()
+	ring := ringbuf.New[S](cfg.BufferCapacity)
+	p := &Pipeline[S]{
+		cfg:     cfg,
+		ring:    ring,
+		handler: handler,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if cfg.Arena != nil {
+		p.charged = int64(ring.Cap()) * cfg.SampleBytes
+		if !cfg.Arena.Charge(p.charged) {
+			return nil, fmt.Errorf("%w: %d bytes for ring buffer", ErrReservation, p.charged)
+		}
+	}
+	return p, nil
+}
+
+// Collect pushes one sample from the hot path. It never blocks and never
+// allocates; a full ring drops the sample (counted in Dropped). Samples
+// collected in ModeOff are still buffered so a mode switch does not lose
+// the window in flight; the handler sees the mode at drain time.
+func (p *Pipeline[S]) Collect(s S) bool {
+	wasEmpty := p.ring.Len() == 0
+	ok := p.ring.TryPush(s)
+	if ok {
+		p.collected.Add(1)
+		// Wake the training thread only on the empty→non-empty transition;
+		// while it is draining, further wakes are redundant and the
+		// channel operation would dominate the per-event cost.
+		if wasEmpty {
+			select {
+			case p.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return ok
+}
+
+// Start launches the asynchronous training thread. It is an error to start
+// a pipeline twice.
+func (p *Pipeline[S]) Start() error {
+	if !p.started.CompareAndSwap(false, true) {
+		return errors.New("core: pipeline already started")
+	}
+	go p.run()
+	return nil
+}
+
+func (p *Pipeline[S]) run() {
+	defer close(p.done)
+	batch := make([]S, p.cfg.BatchSize)
+	ticker := time.NewTicker(p.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			p.drain(batch) // final drain so Stop is lossless
+			return
+		case <-p.wake:
+			p.drain(batch)
+		case <-ticker.C:
+			p.drain(batch)
+		}
+	}
+}
+
+func (p *Pipeline[S]) drain(batch []S) {
+	for {
+		n := p.ring.PopBatch(batch)
+		if n == 0 {
+			return
+		}
+		mode := p.Mode()
+		if mode != ModeOff {
+			p.handler(batch[:n], mode)
+		}
+		p.processed.Add(uint64(n))
+	}
+}
+
+// Stop terminates the training thread after a final drain, releases the
+// arena charge, and waits for completion. A pipeline cannot be restarted.
+func (p *Pipeline[S]) Stop() {
+	if !p.started.Load() {
+		return
+	}
+	select {
+	case <-p.stop:
+		// already stopped
+	default:
+		close(p.stop)
+	}
+	<-p.done
+	if p.cfg.Arena != nil {
+		p.chargeOnce.Do(func() { p.cfg.Arena.Release(p.charged) })
+	}
+}
+
+// Flush synchronously drains the ring on the caller's goroutine. It is
+// intended for deterministic simulation (virtual time) and tests, where the
+// asynchronous thread's scheduling would introduce nondeterminism. Do not
+// call it concurrently with a started pipeline: it violates the
+// single-consumer contract of the ring.
+func (p *Pipeline[S]) Flush() {
+	batch := make([]S, p.cfg.BatchSize)
+	p.drain(batch)
+}
+
+// SetMode switches the pipeline between off, training and inference.
+func (p *Pipeline[S]) SetMode(m Mode) { p.mode.Store(int32(m)) }
+
+// Mode returns the current mode.
+func (p *Pipeline[S]) Mode() Mode { return Mode(p.mode.Load()) }
+
+// Collected returns the number of samples accepted by Collect.
+func (p *Pipeline[S]) Collected() uint64 { return p.collected.Load() }
+
+// Processed returns the number of samples handed to the handler (or
+// discarded in ModeOff).
+func (p *Pipeline[S]) Processed() uint64 { return p.processed.Load() }
+
+// Dropped returns the number of samples lost to a full ring.
+func (p *Pipeline[S]) Dropped() uint64 { return p.ring.Dropped() }
+
+// BufferLen returns the instantaneous ring occupancy.
+func (p *Pipeline[S]) BufferLen() int { return p.ring.Len() }
+
+// Registry names deployed models, mirroring the kernel module registry a
+// KML application registers its models with.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]Classifier
+}
+
+// NewRegistry returns an empty model registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]Classifier)}
+}
+
+// Register adds a model under its name; re-registering a name replaces the
+// model (the paper's retrain-and-redeploy flow).
+func (r *Registry) Register(c Classifier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[c.Name()] = c
+}
+
+// Get returns the model registered under name.
+func (r *Registry) Get(name string) (Classifier, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.models[name]
+	return c, ok
+}
+
+// Names returns the registered model names (unordered).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	return names
+}

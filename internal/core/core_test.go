@@ -1,0 +1,280 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memutil"
+)
+
+type sample struct {
+	inode  uint64
+	offset int64
+}
+
+func TestPipelineCollectAndFlush(t *testing.T) {
+	var got []sample
+	p, err := NewPipeline[sample](Config{}, func(batch []sample, mode Mode) {
+		got = append(got, batch...)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(ModeTraining)
+	for i := 0; i < 10; i++ {
+		if !p.Collect(sample{inode: uint64(i)}) {
+			t.Fatalf("collect %d failed", i)
+		}
+	}
+	p.Flush()
+	if len(got) != 10 {
+		t.Fatalf("handler saw %d samples", len(got))
+	}
+	for i, s := range got {
+		if s.inode != uint64(i) {
+			t.Errorf("order broken at %d", i)
+		}
+	}
+	if p.Collected() != 10 || p.Processed() != 10 || p.Dropped() != 0 {
+		t.Errorf("counters: %d/%d/%d", p.Collected(), p.Processed(), p.Dropped())
+	}
+}
+
+func TestPipelineModeOffDiscards(t *testing.T) {
+	calls := 0
+	p, err := NewPipeline[int](Config{}, func([]int, Mode) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Collect(1)
+	p.Flush() // still ModeOff
+	if calls != 0 {
+		t.Error("handler must not run in ModeOff")
+	}
+	if p.Processed() != 1 {
+		t.Error("off-mode samples still count as processed (discarded)")
+	}
+}
+
+func TestPipelineModeVisibleToHandler(t *testing.T) {
+	var seen []Mode
+	p, err := NewPipeline[int](Config{}, func(_ []int, m Mode) { seen = append(seen, m) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(ModeTraining)
+	p.Collect(1)
+	p.Flush()
+	p.SetMode(ModeInference)
+	p.Collect(2)
+	p.Flush()
+	if len(seen) != 2 || seen[0] != ModeTraining || seen[1] != ModeInference {
+		t.Errorf("modes seen: %v", seen)
+	}
+}
+
+func TestPipelineAsync(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	p, err := NewPipeline[int](Config{Poll: 100 * time.Microsecond}, func(batch []int, _ Mode) {
+		mu.Lock()
+		got = append(got, batch...)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(ModeTraining)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		for !p.Collect(i) {
+			time.Sleep(time.Microsecond)
+		}
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		l := len(got)
+		mu.Unlock()
+		if l == n {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("timed out: handler saw %d of %d", l, n)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if !sort.IntsAreSorted(got) {
+		t.Error("async pipeline reordered samples")
+	}
+}
+
+func TestPipelineStopDrains(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	p, err := NewPipeline[int](Config{Poll: time.Hour}, func(batch []int, _ Mode) {
+		mu.Lock()
+		count += len(batch)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetMode(ModeTraining)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the run loop a moment to consume the initial wake, then fill the
+	// ring without wakes racing: Collect sends a wake; either way Stop's
+	// final drain must account for everything.
+	for i := 0; i < 100; i++ {
+		p.Collect(i)
+	}
+	p.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 100 {
+		t.Errorf("Stop lost samples: handler saw %d", count)
+	}
+}
+
+func TestPipelineDoubleStartErrors(t *testing.T) {
+	p, err := NewPipeline[int](Config{}, func([]int, Mode) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Start(); err == nil {
+		t.Error("double Start must error")
+	}
+}
+
+func TestPipelineStopIdempotent(t *testing.T) {
+	p, err := NewPipeline[int](Config{}, func([]int, Mode) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Stop() // never started: no-op
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	p.Stop() // second stop must not panic or deadlock
+}
+
+func TestPipelineDropsWhenFull(t *testing.T) {
+	p, err := NewPipeline[int](Config{BufferCapacity: 4}, func([]int, Mode) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for i := 0; i < 10; i++ {
+		if p.Collect(i) {
+			ok++
+		}
+	}
+	if ok != 4 {
+		t.Errorf("accepted %d, want 4", ok)
+	}
+	if p.Dropped() != 6 {
+		t.Errorf("dropped %d, want 6", p.Dropped())
+	}
+}
+
+func TestPipelineArenaAccounting(t *testing.T) {
+	arena := memutil.NewArena("pipeline")
+	p, err := NewPipeline[int](Config{BufferCapacity: 1024, SampleBytes: 8, Arena: arena}, func([]int, Mode) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arena.Live() != 1024*8 {
+		t.Errorf("arena live = %d", arena.Live())
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p.Stop()
+	if arena.Live() != 0 {
+		t.Errorf("arena live after Stop = %d", arena.Live())
+	}
+}
+
+func TestPipelineReservationRejected(t *testing.T) {
+	arena := memutil.NewArena("small")
+	arena.Reserve(64)
+	_, err := NewPipeline[int](Config{BufferCapacity: 1024, SampleBytes: 8, Arena: arena}, func([]int, Mode) {})
+	if !errors.Is(err, ErrReservation) {
+		t.Errorf("want ErrReservation, got %v", err)
+	}
+}
+
+func TestPipelineNilHandler(t *testing.T) {
+	if _, err := NewPipeline[int](Config{}, nil); err == nil {
+		t.Error("nil handler must error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOff.String() != "off" || ModeTraining.String() != "training" ||
+		ModeInference.String() != "inference" || Mode(9).String() != "mode(9)" {
+		t.Error("Mode.String")
+	}
+}
+
+type fakeModel string
+
+func (f fakeModel) Predict([]float64) int { return 0 }
+func (f fakeModel) Name() string          { return string(f) }
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeModel("readahead-nn"))
+	r.Register(fakeModel("readahead-dtree"))
+	if _, ok := r.Get("readahead-nn"); !ok {
+		t.Error("registered model missing")
+	}
+	if _, ok := r.Get("nope"); ok {
+		t.Error("unregistered model found")
+	}
+	names := r.Names()
+	sort.Strings(names)
+	if len(names) != 2 || names[0] != "readahead-dtree" {
+		t.Errorf("names = %v", names)
+	}
+	// Re-register replaces.
+	r.Register(fakeModel("readahead-nn"))
+	if len(r.Names()) != 2 {
+		t.Error("re-register must replace, not add")
+	}
+}
+
+func BenchmarkCollect(b *testing.B) {
+	p, err := NewPipeline[sample](Config{BufferCapacity: 1 << 16}, func([]sample, Mode) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.SetMode(ModeTraining)
+	if err := p.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer p.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Collect(sample{inode: uint64(i), offset: int64(i)})
+	}
+}

@@ -1,0 +1,90 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// Write-ahead-log record kinds.
+const (
+	walPut    byte = 1
+	walDelete byte = 2
+)
+
+// ErrBadWAL reports a corrupt write-ahead log.
+var ErrBadWAL = errors.New("kvstore: bad WAL record")
+
+// wal appends durable mutation records ahead of the memtable. Record
+// layout: kind, uvarint keyLen, key, uvarint valLen, val.
+type wal struct {
+	f    *vfs.File
+	sync bool // fsync every append (db_bench default is off)
+	buf  []byte
+}
+
+func newWAL(f *vfs.File, sync bool) *wal {
+	return &wal{f: f, sync: sync}
+}
+
+// append logs one mutation.
+func (w *wal) append(kind byte, key, value []byte) error {
+	w.buf = w.buf[:0]
+	w.buf = append(w.buf, kind)
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(key)))
+	w.buf = append(w.buf, tmp[:n]...)
+	w.buf = append(w.buf, key...)
+	n = binary.PutUvarint(tmp[:], uint64(len(value)))
+	w.buf = append(w.buf, tmp[:n]...)
+	w.buf = append(w.buf, value...)
+	if _, err := w.f.Append(w.buf); err != nil {
+		return err
+	}
+	if w.sync {
+		w.f.Sync()
+	}
+	return nil
+}
+
+// walRecord is one replayed mutation.
+type walRecord struct {
+	kind       byte
+	key, value []byte
+}
+
+// replayWAL decodes every record in f, for recovery after reopening a DB.
+func replayWAL(f *vfs.File) ([]walRecord, error) {
+	data := make([]byte, f.Size())
+	if f.Size() > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadWAL, err)
+		}
+	}
+	var out []walRecord
+	for len(data) > 0 {
+		kind := data[0]
+		if kind != walPut && kind != walDelete {
+			return nil, fmt.Errorf("%w: kind %d", ErrBadWAL, kind)
+		}
+		data = data[1:]
+		klen, n := binary.Uvarint(data)
+		if n <= 0 || int(klen) > len(data)-n {
+			return nil, fmt.Errorf("%w: key length", ErrBadWAL)
+		}
+		data = data[n:]
+		key := append([]byte(nil), data[:klen]...)
+		data = data[klen:]
+		vlen, n := binary.Uvarint(data)
+		if n <= 0 || int(vlen) > len(data)-n {
+			return nil, fmt.Errorf("%w: value length", ErrBadWAL)
+		}
+		data = data[n:]
+		value := append([]byte(nil), data[:vlen]...)
+		data = data[vlen:]
+		out = append(out, walRecord{kind: kind, key: key, value: value})
+	}
+	return out, nil
+}

@@ -1,0 +1,456 @@
+// Package matrix implements the dense matrix types and linear-algebra
+// routines KML's neural networks are built on.
+//
+// The paper (§3.1) states that "KML supports integer, floating-point, and
+// double precision matrices". This package provides:
+//
+//   - Dense[T] — a generic row-major dense matrix over float32 or float64,
+//     used for training and floating-point inference, and
+//   - Fixed — a Q16.16 fixed-point matrix (package fixed) with int64
+//     accumulation, used for integer-only inference in FPU-less contexts.
+//
+// All hot-path operations offer *Into variants that write into caller-owned
+// destinations so inference can run without allocating (§3.1: memory must be
+// carefully managed inside the OS).
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fixed"
+)
+
+// Float constrains the element types of a Dense matrix.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Dense is a row-major dense matrix.
+type Dense[T Float] struct {
+	rows, cols int
+	data       []T
+}
+
+// New returns a zeroed rows×cols matrix.
+func New[T Float](rows, cols int) *Dense[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense[T]{rows: rows, cols: cols, data: make([]T, rows*cols)}
+}
+
+// FromSlice returns a rows×cols matrix backed by a copy of data, which must
+// hold exactly rows*cols elements in row-major order.
+func FromSlice[T Float](rows, cols int, data []T) *Dense[T] {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("matrix: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	m := New[T](rows, cols)
+	copy(m.data, data)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense[T]) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense[T]) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense[T]) At(i, j int) T { return m.data[i*m.cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Dense[T]) Set(i, j int, v T) { m.data[i*m.cols+j] = v }
+
+// Data returns the backing slice in row-major order. Mutating it mutates
+// the matrix; it is exposed for zero-copy serialization and kernels.
+func (m *Dense[T]) Data() []T { return m.data }
+
+// Row returns a view of row i (aliasing the matrix storage).
+func (m *Dense[T]) Row(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense[T]) Clone() *Dense[T] {
+	c := New[T](m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense[T]) CopyFrom(src *Dense[T]) {
+	m.mustSameShape(src)
+	copy(m.data, src.data)
+}
+
+// Fill sets every element of m to v.
+func (m *Dense[T]) Fill(v T) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Zero sets every element of m to 0.
+func (m *Dense[T]) Zero() {
+	var z T
+	for i := range m.data {
+		m.data[i] = z
+	}
+}
+
+func (m *Dense[T]) mustSameShape(o *Dense[T]) {
+	if m.rows != o.rows || m.cols != o.cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, o.rows, o.cols))
+	}
+}
+
+// ErrShape reports incompatible matrix dimensions from checked operations.
+var ErrShape = errors.New("matrix: incompatible shapes")
+
+// MulInto computes dst = a·b. dst must be a.rows × b.cols and must not
+// alias a or b. It performs no allocation.
+func MulInto[T Float](dst, a, b *Dense[T]) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulInto shapes %dx%d · %dx%d -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, dst.rows, dst.cols))
+	}
+	// ikj loop order: the inner loop streams rows of b and dst, which is
+	// cache-friendly for row-major storage.
+	for i := 0; i < a.rows; i++ {
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for x := range drow {
+			drow[x] = 0
+		}
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Mul returns a·b in a freshly allocated matrix.
+func Mul[T Float](a, b *Dense[T]) *Dense[T] {
+	dst := New[T](a.rows, b.cols)
+	MulInto(dst, a, b)
+	return dst
+}
+
+// MulTransInto computes dst = a·bᵀ without materializing bᵀ.
+// dst must be a.rows × b.rows.
+func MulTransInto[T Float](dst, a, b *Dense[T]) {
+	if a.cols != b.cols || dst.rows != a.rows || dst.cols != b.rows {
+		panic("matrix: MulTransInto shape mismatch")
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*b.cols : (j+1)*b.cols]
+			var sum T
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// TransMulInto computes dst = aᵀ·b without materializing aᵀ.
+// dst must be a.cols × b.cols.
+func TransMulInto[T Float](dst, a, b *Dense[T]) {
+	if a.rows != b.rows || dst.rows != a.cols || dst.cols != b.cols {
+		panic("matrix: TransMulInto shape mismatch")
+	}
+	dst.Zero()
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Dense[T]) Transpose() *Dense[T] {
+	t := New[T](m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// AddInto computes dst = a + b elementwise; all three must share a shape
+// (dst may alias a or b).
+func AddInto[T Float](dst, a, b *Dense[T]) {
+	a.mustSameShape(b)
+	a.mustSameShape(dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// SubInto computes dst = a − b elementwise (dst may alias a or b).
+func SubInto[T Float](dst, a, b *Dense[T]) {
+	a.mustSameShape(b)
+	a.mustSameShape(dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+}
+
+// HadamardInto computes dst = a ⊙ b elementwise (dst may alias a or b).
+func HadamardInto[T Float](dst, a, b *Dense[T]) {
+	a.mustSameShape(b)
+	a.mustSameShape(dst)
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+}
+
+// Scale multiplies every element of m by s in place.
+func (m *Dense[T]) Scale(s T) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// AXPY computes m += s·x elementwise.
+func (m *Dense[T]) AXPY(s T, x *Dense[T]) {
+	m.mustSameShape(x)
+	for i := range m.data {
+		m.data[i] += s * x.data[i]
+	}
+}
+
+// AddRowVec adds the 1×cols row vector v to every row of m in place
+// (broadcast add, used for biases).
+func (m *Dense[T]) AddRowVec(v *Dense[T]) {
+	if v.rows != 1 || v.cols != m.cols {
+		panic("matrix: AddRowVec needs a 1xCols vector")
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += v.data[j]
+		}
+	}
+}
+
+// SumRowsInto writes the column-wise sum of m (a 1×cols vector) into dst.
+func (m *Dense[T]) SumRowsInto(dst *Dense[T]) {
+	if dst.rows != 1 || dst.cols != m.cols {
+		panic("matrix: SumRowsInto needs a 1xCols destination")
+	}
+	dst.Zero()
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			dst.data[j] += row[j]
+		}
+	}
+}
+
+// Apply sets every element to f(element) in place.
+func (m *Dense[T]) Apply(f func(T) T) {
+	for i := range m.data {
+		m.data[i] = f(m.data[i])
+	}
+}
+
+// ArgMaxRow returns the column index of the largest element in row i.
+func (m *Dense[T]) ArgMaxRow(i int) int {
+	row := m.Row(i)
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// MaxAbs returns the largest absolute element value in m (0 for empty).
+func (m *Dense[T]) MaxAbs() T {
+	var maxV T
+	for _, v := range m.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// FrobeniusNorm2 returns the squared Frobenius norm Σ m_ij².
+func (m *Dense[T]) FrobeniusNorm2() T {
+	var sum T
+	for _, v := range m.data {
+		sum += v * v
+	}
+	return sum
+}
+
+// Equal reports whether m and o have the same shape and elements within tol.
+func (m *Dense[T]) Equal(o *Dense[T], tol T) bool {
+	if m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i := range m.data {
+		d := m.data[i] - o.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a small matrix for debugging.
+func (m *Dense[T]) String() string {
+	s := fmt.Sprintf("Dense %dx%d [", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", float64(m.At(i, j)))
+		}
+	}
+	return s + "]"
+}
+
+// Fixed is a row-major dense matrix of Q16.16 fixed-point values, used for
+// integer-only inference. Multiplication accumulates in int64 and shifts
+// once per dot product, which preserves far more precision than per-term
+// rounding.
+type Fixed struct {
+	rows, cols int
+	data       []fixed.Q16
+}
+
+// NewFixed returns a zeroed rows×cols fixed-point matrix.
+func NewFixed(rows, cols int) *Fixed {
+	return &Fixed{rows: rows, cols: cols, data: make([]fixed.Q16, rows*cols)}
+}
+
+// FixedFrom quantizes a float matrix to Q16.16.
+func FixedFrom[T Float](m *Dense[T]) *Fixed {
+	f := NewFixed(m.rows, m.cols)
+	for i, v := range m.data {
+		f.data[i] = fixed.FromFloat(float64(v))
+	}
+	return f
+}
+
+// Rows returns the number of rows.
+func (f *Fixed) Rows() int { return f.rows }
+
+// Cols returns the number of columns.
+func (f *Fixed) Cols() int { return f.cols }
+
+// At returns the element at row i, column j.
+func (f *Fixed) At(i, j int) fixed.Q16 { return f.data[i*f.cols+j] }
+
+// Set stores v at row i, column j.
+func (f *Fixed) Set(i, j int, v fixed.Q16) { f.data[i*f.cols+j] = v }
+
+// Data returns the backing slice in row-major order.
+func (f *Fixed) Data() []fixed.Q16 { return f.data }
+
+// Row returns a view of row i.
+func (f *Fixed) Row(i int) []fixed.Q16 { return f.data[i*f.cols : (i+1)*f.cols] }
+
+// MulFixedInto computes dst = a·b in fixed point with int64 accumulation.
+func MulFixedInto(dst, a, b *Fixed) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
+		panic("matrix: MulFixedInto shape mismatch")
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
+		for j := 0; j < b.cols; j++ {
+			var acc int64
+			for k, av := range arow {
+				acc += int64(av) * int64(b.data[k*b.cols+j])
+			}
+			// One rounding shift for the whole dot product.
+			if acc >= 0 {
+				acc += 1 << (fixed.FracBits - 1)
+			} else {
+				acc -= 1 << (fixed.FracBits - 1)
+			}
+			acc >>= fixed.FracBits
+			switch {
+			case acc > int64(fixed.Max):
+				drow[j] = fixed.Max
+			case acc < int64(fixed.Min):
+				drow[j] = fixed.Min
+			default:
+				drow[j] = fixed.Q16(acc)
+			}
+		}
+	}
+}
+
+// AddRowVec adds the 1×cols vector v to every row of f in place.
+func (f *Fixed) AddRowVec(v *Fixed) {
+	if v.rows != 1 || v.cols != f.cols {
+		panic("matrix: Fixed.AddRowVec needs a 1xCols vector")
+	}
+	for i := 0; i < f.rows; i++ {
+		row := f.Row(i)
+		for j := range row {
+			row[j] = row[j].Add(v.data[j])
+		}
+	}
+}
+
+// Apply sets every element to fn(element) in place.
+func (f *Fixed) Apply(fn func(fixed.Q16) fixed.Q16) {
+	for i := range f.data {
+		f.data[i] = fn(f.data[i])
+	}
+}
+
+// ArgMaxRow returns the column index of the largest element in row i.
+func (f *Fixed) ArgMaxRow(i int) int {
+	row := f.Row(i)
+	best := 0
+	for j := 1; j < len(row); j++ {
+		if row[j] > row[best] {
+			best = j
+		}
+	}
+	return best
+}
+
+// Float converts f back to a float64 matrix (for accuracy comparisons).
+func (f *Fixed) Float() *Dense[float64] {
+	m := New[float64](f.rows, f.cols)
+	for i, v := range f.data {
+		m.data[i] = v.Float()
+	}
+	return m
+}

@@ -1,0 +1,365 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fixed"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New[float64](2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Error("Set/At mismatch")
+	}
+	if m.At(0, 0) != 0 {
+		t.Error("new matrix should be zeroed")
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Error("row-major layout broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong length must panic")
+		}
+	}()
+	FromSlice(2, 2, []float64{1})
+}
+
+func TestMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := Mul(a, b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !c.Equal(want, 1e-12) {
+		t.Errorf("got %v want %v", c, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New[float64](4, 4)
+	for i := range a.Data() {
+		a.Data()[i] = rng.NormFloat64()
+	}
+	id := New[float64](4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if !Mul(a, id).Equal(a, 1e-12) || !Mul(id, a).Equal(a, 1e-12) {
+		t.Error("identity multiplication broken")
+	}
+}
+
+func TestMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched Mul must panic")
+		}
+	}()
+	Mul(New[float64](2, 3), New[float64](2, 3))
+}
+
+func TestMulTransInto(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(4, 3, []float64{1, 0, 1, 0, 1, 0, 2, 2, 2, -1, -1, -1})
+	dst := New[float64](2, 4)
+	MulTransInto(dst, a, b)
+	want := Mul(a, b.Transpose())
+	if !dst.Equal(want, 1e-12) {
+		t.Errorf("MulTransInto mismatch: %v vs %v", dst, want)
+	}
+}
+
+func TestTransMulInto(t *testing.T) {
+	a := FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 4, []float64{1, 0, 1, 0, 0, 1, 0, 1, 2, 2, 2, 2})
+	dst := New[float64](2, 4)
+	TransMulInto(dst, a, b)
+	want := Mul(a.Transpose(), b)
+	if !dst.Equal(want, 1e-12) {
+		t.Errorf("TransMulInto mismatch: %v vs %v", dst, want)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatal("transpose dims")
+	}
+	if tr.At(2, 1) != 6 || tr.At(0, 1) != 4 {
+		t.Error("transpose values")
+	}
+	if !tr.Transpose().Equal(m, 0) {
+		t.Error("double transpose must be identity")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b, c := randMat(rng, 3, 4), randMat(rng, 4, 2), randMat(rng, 2, 5)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		return left.Equal(right, 1e-9)
+	}
+	for i := 0; i < 50; i++ {
+		if !f() {
+			t.Fatal("matrix multiplication not associative")
+		}
+	}
+}
+
+func randMat(rng *rand.Rand, r, c int) *Dense[float64] {
+	m := New[float64](r, c)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestAddSubHadamard(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	sum := New[float64](2, 2)
+	AddInto(sum, a, b)
+	if !sum.Equal(FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Error("AddInto")
+	}
+	diff := New[float64](2, 2)
+	SubInto(diff, b, a)
+	if !diff.Equal(FromSlice(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Error("SubInto")
+	}
+	had := New[float64](2, 2)
+	HadamardInto(had, a, b)
+	if !had.Equal(FromSlice(2, 2, []float64{5, 12, 21, 32}), 0) {
+		t.Error("HadamardInto")
+	}
+	// Aliasing: dst == a.
+	AddInto(a, a, b)
+	if !a.Equal(FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Error("aliased AddInto")
+	}
+}
+
+func TestScaleAXPY(t *testing.T) {
+	m := FromSlice(1, 3, []float64{1, 2, 3})
+	m.Scale(2)
+	if !m.Equal(FromSlice(1, 3, []float64{2, 4, 6}), 0) {
+		t.Error("Scale")
+	}
+	x := FromSlice(1, 3, []float64{1, 1, 1})
+	m.AXPY(-2, x)
+	if !m.Equal(FromSlice(1, 3, []float64{0, 2, 4}), 0) {
+		t.Error("AXPY")
+	}
+}
+
+func TestAddRowVecSumRows(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	v := FromSlice(1, 3, []float64{10, 20, 30})
+	m.AddRowVec(v)
+	if !m.Equal(FromSlice(2, 3, []float64{11, 22, 33, 14, 25, 36}), 0) {
+		t.Error("AddRowVec")
+	}
+	sums := New[float64](1, 3)
+	m.SumRowsInto(sums)
+	if !sums.Equal(FromSlice(1, 3, []float64{25, 47, 69}), 0) {
+		t.Error("SumRowsInto")
+	}
+}
+
+func TestApplyArgMax(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 5, 3, -1, -5, -3})
+	m.Apply(func(v float64) float64 { return v * v })
+	if m.At(1, 1) != 25 {
+		t.Error("Apply")
+	}
+	if m.ArgMaxRow(0) != 1 {
+		t.Error("ArgMaxRow row 0")
+	}
+	if m.ArgMaxRow(1) != 1 {
+		t.Error("ArgMaxRow row 1")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice(1, 2, []float64{1, 2})
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Error("Clone must deep copy")
+	}
+	a.CopyFrom(b)
+	if a.At(0, 0) != 99 {
+		t.Error("CopyFrom")
+	}
+}
+
+func TestNorms(t *testing.T) {
+	m := FromSlice(1, 3, []float64{3, -4, 0})
+	if m.FrobeniusNorm2() != 25 {
+		t.Error("FrobeniusNorm2")
+	}
+	if m.MaxAbs() != 4 {
+		t.Error("MaxAbs")
+	}
+}
+
+func TestFloat32Matrices(t *testing.T) {
+	a := FromSlice[float32](2, 2, []float32{1, 2, 3, 4})
+	b := FromSlice[float32](2, 2, []float32{5, 6, 7, 8})
+	c := Mul(a, b)
+	want := FromSlice[float32](2, 2, []float32{19, 22, 43, 50})
+	if !c.Equal(want, 1e-5) {
+		t.Errorf("float32 mul: %v", c)
+	}
+}
+
+func TestFillZero(t *testing.T) {
+	m := New[float64](2, 2)
+	m.Fill(3)
+	if m.At(1, 1) != 3 {
+		t.Error("Fill")
+	}
+	m.Zero()
+	if m.FrobeniusNorm2() != 0 {
+		t.Error("Zero")
+	}
+}
+
+func TestRowAliasing(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	r := m.Row(1)
+	r[0] = 99
+	if m.At(1, 0) != 99 {
+		t.Error("Row must alias storage")
+	}
+}
+
+// --- Fixed-point matrices ---
+
+func TestFixedFromAndBack(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1.5, -2.25, 0, 100})
+	f := FixedFrom(m)
+	back := f.Float()
+	if !back.Equal(m, 1e-4) {
+		t.Errorf("fixed round trip: %v vs %v", back, m)
+	}
+}
+
+func TestMulFixedMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMat(rng, 3, 5)
+	b := randMat(rng, 5, 4)
+	want := Mul(a, b)
+	fa, fb := FixedFrom(a), FixedFrom(b)
+	dst := NewFixed(3, 4)
+	MulFixedInto(dst, fa, fb)
+	got := dst.Float()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-3 {
+				t.Errorf("fixed mul (%d,%d): %g vs %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulFixedSaturates(t *testing.T) {
+	a := NewFixed(1, 2)
+	a.Set(0, 0, fixed.FromInt(30000))
+	a.Set(0, 1, fixed.FromInt(30000))
+	b := NewFixed(2, 1)
+	b.Set(0, 0, fixed.FromInt(30000))
+	b.Set(1, 0, fixed.FromInt(30000))
+	dst := NewFixed(1, 1)
+	MulFixedInto(dst, a, b)
+	if dst.At(0, 0) != fixed.Max {
+		t.Errorf("expected saturation, got %v", dst.At(0, 0))
+	}
+}
+
+func TestFixedAddRowVecArgMax(t *testing.T) {
+	f := NewFixed(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			f.Set(i, j, fixed.FromInt(i+j))
+		}
+	}
+	v := NewFixed(1, 3)
+	v.Set(0, 2, fixed.FromInt(10))
+	f.AddRowVec(v)
+	if f.At(0, 2) != fixed.FromInt(12) {
+		t.Error("Fixed.AddRowVec")
+	}
+	if f.ArgMaxRow(0) != 2 {
+		t.Error("Fixed.ArgMaxRow")
+	}
+	f.Apply(func(q fixed.Q16) fixed.Q16 { return q.Neg() })
+	if f.ArgMaxRow(0) != 0 {
+		t.Error("Fixed.Apply/ArgMax after negation")
+	}
+}
+
+func TestQuickMulDistributes(t *testing.T) {
+	// (a+b)·c == a·c + b·c on random small ints (exact in float64).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		intMat := func(r, c int) *Dense[float64] {
+			m := New[float64](r, c)
+			for i := range m.Data() {
+				m.Data()[i] = float64(rng.Intn(21) - 10)
+			}
+			return m
+		}
+		a, b, c := intMat(3, 3), intMat(3, 3), intMat(3, 3)
+		ab := New[float64](3, 3)
+		AddInto(ab, a, b)
+		left := Mul(ab, c)
+		right := New[float64](3, 3)
+		AddInto(right, Mul(a, c), Mul(b, c))
+		return left.Equal(right, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkMulInto16(b *testing.B)  { benchMul(b, 16) }
+func BenchmarkMulInto64(b *testing.B)  { benchMul(b, 64) }
+func BenchmarkMulInto128(b *testing.B) { benchMul(b, 128) }
+
+func benchMul(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := randMat(rng, n, n), randMat(rng, n, n)
+	dst := New[float64](n, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMulFixed64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := FixedFrom(randMat(rng, 64, 64)), FixedFrom(randMat(rng, 64, 64))
+	dst := NewFixed(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulFixedInto(dst, x, y)
+	}
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/kmath"
+	"repro/internal/matrix"
+)
+
+// Float32Network is a network compiled to single-precision inference —
+// the middle point of the paper's three matrix precisions (§3.1: "KML
+// supports integer, floating-point, and double precision matrices").
+// Training always happens in float64; compiling to float32 halves the
+// deployed model's memory at negligible accuracy cost, and the
+// BenchmarkAblation_InferencePrecision harness quantifies the trade
+// against the Q16.16 integer path.
+type float32Op struct {
+	kind uint8
+	w    *matrix.Dense[float32]
+	b    *matrix.Dense[float32]
+	out  *matrix.Dense[float32]
+}
+
+// Float32Network executes a single-precision chain network.
+type Float32Network struct {
+	ops   []float32Op
+	inDim int
+	inBuf *matrix.Dense[float32]
+}
+
+// CompileFloat32 converts a trained network to single-precision inference.
+// A trailing Softmax compiles to the identity (monotone under argmax),
+// as in CompileFixed.
+func CompileFloat32(n *Network) (*Float32Network, error) {
+	fn := &Float32Network{inDim: n.InDim()}
+	for _, l := range n.layers {
+		switch t := l.(type) {
+		case *Linear:
+			op := float32Op{
+				kind: kindLinear,
+				w:    toFloat32(t.w),
+				b:    toFloat32(t.b),
+				out:  matrix.New[float32](1, t.out),
+			}
+			fn.ops = append(fn.ops, op)
+		case *Softmax:
+			// Identity under argmax; skip.
+		case *activation:
+			var kind uint8
+			switch t.name {
+			case "sigmoid":
+				kind = kindSigmoid
+			case "relu":
+				kind = kindReLU
+			case "tanh":
+				kind = kindTanh
+			default:
+				return nil, fmt.Errorf("nn: cannot compile activation %q to float32", t.name)
+			}
+			fn.ops = append(fn.ops, float32Op{kind: kind})
+		default:
+			return nil, fmt.Errorf("nn: cannot compile layer %q to float32", l.Name())
+		}
+	}
+	if len(fn.ops) == 0 {
+		return nil, fmt.Errorf("nn: nothing to compile")
+	}
+	fn.inBuf = matrix.New[float32](1, fn.inDim)
+	return fn, nil
+}
+
+func toFloat32(m *Mat) *matrix.Dense[float32] {
+	out := matrix.New[float32](m.Rows(), m.Cols())
+	src, dst := m.Data(), out.Data()
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+	return out
+}
+
+// InDim returns the input feature dimension.
+func (fn *Float32Network) InDim() int { return fn.inDim }
+
+// Predict runs single-sample inference on float64 features and returns
+// the argmax output index. It performs no allocation.
+func (fn *Float32Network) Predict(features []float64) int {
+	buf := fn.inBuf.Row(0)
+	if len(features) != len(buf) {
+		panic(fmt.Sprintf("nn: float32 predict got %d features, want %d", len(features), len(buf)))
+	}
+	for i, f := range features {
+		buf[i] = float32(f)
+	}
+	out := fn.forward()
+	return out.ArgMaxRow(0)
+}
+
+// Logits runs single-sample inference and returns the output row
+// (aliasing internal scratch, valid until the next call).
+func (fn *Float32Network) Logits(features []float64) []float32 {
+	fn.Predict(features) // fills buffers
+	return fn.ops[lastSizing(fn.ops)].out.Row(0)
+}
+
+func lastSizing(ops []float32Op) int {
+	last := 0
+	for i := range ops {
+		if ops[i].w != nil {
+			last = i
+		}
+	}
+	return last
+}
+
+func (fn *Float32Network) forward() *matrix.Dense[float32] {
+	cur := fn.inBuf
+	for i := range fn.ops {
+		op := &fn.ops[i]
+		switch op.kind {
+		case kindLinear:
+			matrix.MulInto(op.out, cur, op.w)
+			op.out.AddRowVec(op.b)
+			cur = op.out
+		case kindSigmoid:
+			cur.Apply(sigmoid32)
+		case kindReLU:
+			cur.Apply(func(x float32) float32 {
+				if x > 0 {
+					return x
+				}
+				return 0
+			})
+		case kindTanh:
+			cur.Apply(func(x float32) float32 { return float32(kmath.Tanh(float64(x))) })
+		}
+	}
+	return cur
+}
+
+func sigmoid32(x float32) float32 { return float32(kmath.Sigmoid(float64(x))) }
+
+// ParamBytes returns the bytes held by single-precision parameters.
+func (fn *Float32Network) ParamBytes() int64 {
+	var total int64
+	for i := range fn.ops {
+		op := &fn.ops[i]
+		if op.w != nil {
+			total += int64(op.w.Rows()*op.w.Cols()+op.b.Cols()) * 4
+		}
+	}
+	return total
+}

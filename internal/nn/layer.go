@@ -1,0 +1,284 @@
+// Package nn implements KML's neural-network core: modular layers and loss
+// functions with forward/backward passes, chain networks, reverse-mode
+// automatic differentiation, an SGD optimizer with momentum, the KML model
+// file format used to move models between (simulated) user and kernel
+// space, and a fixed-point compiled inference path.
+//
+// The design mirrors §2 of the paper: each differentiable component
+// implements (i) construction/initialization, (ii) forward propagation for
+// inference, and (iii) backward propagation for training — the three
+// functions the paper says an extension must provide. Networks are chain
+// computation graphs ("our current prototype supports only chain
+// computation graphs"), traversed front-to-back for inference and
+// back-to-front for gradients.
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/kmath"
+	"repro/internal/matrix"
+)
+
+// Mat is the matrix type the network trains with (double precision, the
+// paper's highest-fidelity mode).
+type Mat = matrix.Dense[float64]
+
+// NewMat returns a zeroed rows×cols matrix of the network element type —
+// a convenience for callers assembling training batches.
+func NewMat(rows, cols int) *Mat { return matrix.New[float64](rows, cols) }
+
+// Layer is one differentiable component of a chain network.
+//
+// Forward consumes a batch (rows = samples) and returns the layer output;
+// the returned matrix is owned by the layer and reused across calls with
+// the same batch size. Backward consumes ∂L/∂out and returns ∂L/∂in,
+// accumulating parameter gradients internally; it must be called after
+// Forward on the same batch.
+type Layer interface {
+	// Name identifies the layer type in serialized models and String output.
+	Name() string
+	// InDim and OutDim describe the feature dimensions.
+	InDim() int
+	OutDim() int
+	// Forward computes the layer output for in (batch×InDim).
+	Forward(in *Mat) *Mat
+	// Backward computes ∂L/∂in from ∂L/∂out and records parameter grads.
+	Backward(dOut *Mat) *Mat
+	// Params returns the trainable parameter matrices (nil for stateless
+	// layers); Grads returns the matching gradient accumulators.
+	Params() []*Mat
+	Grads() []*Mat
+}
+
+// Linear is a fully connected layer: out = in·W + b.
+type Linear struct {
+	in, out int
+	w       *Mat // InDim × OutDim
+	b       *Mat // 1 × OutDim
+	dw, db  *Mat
+
+	x     *Mat // cached input (aliased, not copied)
+	y     *Mat // output buffer
+	dIn   *Mat // gradient buffer
+	dwTmp *Mat // scratch for the per-batch weight gradient
+	dbTmp *Mat // scratch for the per-batch bias gradient
+	last  int  // batch size the buffers are sized for
+}
+
+// NewLinear returns a fully connected layer with Xavier/Glorot-uniform
+// initialized weights and zero biases, using rng for reproducibility.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid Linear dims %dx%d", in, out))
+	}
+	l := &Linear{
+		in: in, out: out,
+		w:  matrix.New[float64](in, out),
+		b:  matrix.New[float64](1, out),
+		dw: matrix.New[float64](in, out),
+		db: matrix.New[float64](1, out),
+	}
+	// Xavier-uniform: U(−√(6/(in+out)), +√(6/(in+out))).
+	limit := kmath.Sqrt(6 / float64(in+out))
+	data := l.w.Data()
+	for i := range data {
+		data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return "linear" }
+
+// InDim implements Layer.
+func (l *Linear) InDim() int { return l.in }
+
+// OutDim implements Layer.
+func (l *Linear) OutDim() int { return l.out }
+
+// Weights returns the weight matrix (InDim × OutDim).
+func (l *Linear) Weights() *Mat { return l.w }
+
+// Bias returns the bias row vector (1 × OutDim).
+func (l *Linear) Bias() *Mat { return l.b }
+
+func (l *Linear) size(batch int) {
+	if l.last == batch {
+		return
+	}
+	l.y = matrix.New[float64](batch, l.out)
+	l.dIn = matrix.New[float64](batch, l.in)
+	if l.dwTmp == nil {
+		l.dwTmp = matrix.New[float64](l.in, l.out)
+		l.dbTmp = matrix.New[float64](1, l.out)
+	}
+	l.last = batch
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(in *Mat) *Mat {
+	if in.Cols() != l.in {
+		panic(fmt.Sprintf("nn: linear got %d features, want %d", in.Cols(), l.in))
+	}
+	l.size(in.Rows())
+	l.x = in
+	matrix.MulInto(l.y, in, l.w)
+	l.y.AddRowVec(l.b)
+	return l.y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dOut *Mat) *Mat {
+	if l.x == nil {
+		panic("nn: Backward before Forward")
+	}
+	// dW += xᵀ·dOut ; accumulate so gradient steps can span micro-batches.
+	matrix.TransMulInto(l.dwTmp, l.x, dOut)
+	matrix.AddInto(l.dw, l.dw, l.dwTmp)
+	// db += column sums of dOut.
+	dOut.SumRowsInto(l.dbTmp)
+	matrix.AddInto(l.db, l.db, l.dbTmp)
+	// dIn = dOut·Wᵀ.
+	matrix.MulTransInto(l.dIn, dOut, l.w)
+	return l.dIn
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Mat { return []*Mat{l.w, l.b} }
+
+// Grads implements Layer.
+func (l *Linear) Grads() []*Mat { return []*Mat{l.dw, l.db} }
+
+// activation is shared machinery for stateless elementwise layers.
+type activation struct {
+	name string
+	fn   func(float64) float64
+	// dfn computes the local derivative from (input, output).
+	dfn func(x, y float64) float64
+
+	x    *Mat
+	y    *Mat
+	dIn  *Mat
+	last int
+}
+
+func (a *activation) Name() string { return a.name }
+
+// InDim implements Layer; activations are dimension-preserving and
+// polymorphic, reported as 0.
+func (a *activation) InDim() int { return 0 }
+
+// OutDim implements Layer.
+func (a *activation) OutDim() int { return 0 }
+
+func (a *activation) Forward(in *Mat) *Mat {
+	if a.last != in.Rows()*in.Cols() {
+		a.y = matrix.New[float64](in.Rows(), in.Cols())
+		a.dIn = matrix.New[float64](in.Rows(), in.Cols())
+		a.last = in.Rows() * in.Cols()
+	}
+	a.x = in
+	xs, ys := in.Data(), a.y.Data()
+	for i, v := range xs {
+		ys[i] = a.fn(v)
+	}
+	return a.y
+}
+
+func (a *activation) Backward(dOut *Mat) *Mat {
+	if a.x == nil {
+		panic("nn: Backward before Forward")
+	}
+	xs, ys, ds, out := a.x.Data(), a.y.Data(), a.dIn.Data(), dOut.Data()
+	for i := range ds {
+		ds[i] = out[i] * a.dfn(xs[i], ys[i])
+	}
+	return a.dIn
+}
+
+func (a *activation) Params() []*Mat { return nil }
+func (a *activation) Grads() []*Mat  { return nil }
+
+// NewSigmoid returns a logistic activation layer — the nonlinearity the
+// paper's readahead model uses between its three linear layers.
+func NewSigmoid() Layer {
+	return &activation{
+		name: "sigmoid",
+		fn:   kmath.Sigmoid,
+		dfn:  func(_, y float64) float64 { return y * (1 - y) },
+	}
+}
+
+// NewReLU returns a rectified-linear activation layer.
+func NewReLU() Layer {
+	return &activation{
+		name: "relu",
+		fn: func(x float64) float64 {
+			if x > 0 {
+				return x
+			}
+			return 0
+		},
+		dfn: func(x, _ float64) float64 {
+			if x > 0 {
+				return 1
+			}
+			return 0
+		},
+	}
+}
+
+// NewTanh returns a hyperbolic-tangent activation layer.
+func NewTanh() Layer {
+	return &activation{
+		name: "tanh",
+		fn:   kmath.Tanh,
+		dfn:  func(_, y float64) float64 { return 1 - y*y },
+	}
+}
+
+// Softmax is an inference-time output layer turning logits into a
+// probability distribution per row. For training, use the fused
+// CrossEntropy loss instead (it differentiates through softmax itself),
+// so Softmax deliberately has no Backward.
+type Softmax struct {
+	y    *Mat
+	last int
+}
+
+// NewSoftmax returns a softmax output layer.
+func NewSoftmax() *Softmax { return &Softmax{} }
+
+// Name implements Layer.
+func (s *Softmax) Name() string { return "softmax" }
+
+// InDim implements Layer.
+func (s *Softmax) InDim() int { return 0 }
+
+// OutDim implements Layer.
+func (s *Softmax) OutDim() int { return 0 }
+
+// Forward implements Layer.
+func (s *Softmax) Forward(in *Mat) *Mat {
+	if s.last != in.Rows()*in.Cols() {
+		s.y = matrix.New[float64](in.Rows(), in.Cols())
+		s.last = in.Rows() * in.Cols()
+	}
+	for i := 0; i < in.Rows(); i++ {
+		kmath.Softmax(s.y.Row(i), in.Row(i))
+	}
+	return s.y
+}
+
+// Backward implements Layer; softmax is inference-only in KML networks.
+func (s *Softmax) Backward(*Mat) *Mat {
+	panic("nn: Softmax has no Backward; train with the fused CrossEntropy loss")
+}
+
+// Params implements Layer.
+func (s *Softmax) Params() []*Mat { return nil }
+
+// Grads implements Layer.
+func (s *Softmax) Grads() []*Mat { return nil }

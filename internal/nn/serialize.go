@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/matrix"
+)
+
+// The KML model file format (§3.3: "the user can save the model to a file
+// that has a KML-specific file format" and later load it in the kernel
+// module). Layout, little-endian:
+//
+//	magic   [4]byte  "KMLF"
+//	version uint16   (1)
+//	layers  uint16
+//	per layer:
+//	  kind  uint8
+//	  linear only: in uint32, out uint32, W (in·out float64), b (out float64)
+//	crc32   uint32   (IEEE, over everything before it)
+const (
+	modelMagic   = "KMLF"
+	modelVersion = 1
+)
+
+// Layer kind tags in the serialized format.
+const (
+	kindLinear  uint8 = 1
+	kindSigmoid uint8 = 2
+	kindReLU    uint8 = 3
+	kindTanh    uint8 = 4
+	kindSoftmax uint8 = 5
+)
+
+// ErrBadModel reports a corrupt or incompatible model file.
+var ErrBadModel = errors.New("nn: bad model file")
+
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Save writes the network in the KML model file format.
+func (n *Network) Save(w io.Writer) error {
+	cw := &crcWriter{w: w}
+	if _, err := cw.Write([]byte(modelMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint16(modelVersion)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint16(len(n.layers))); err != nil {
+		return err
+	}
+	for _, l := range n.layers {
+		switch t := l.(type) {
+		case *Linear:
+			if err := binary.Write(cw, binary.LittleEndian, kindLinear); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, uint32(t.in)); err != nil {
+				return err
+			}
+			if err := binary.Write(cw, binary.LittleEndian, uint32(t.out)); err != nil {
+				return err
+			}
+			if err := writeFloats(cw, t.w.Data()); err != nil {
+				return err
+			}
+			if err := writeFloats(cw, t.b.Data()); err != nil {
+				return err
+			}
+		case *Softmax:
+			if err := binary.Write(cw, binary.LittleEndian, kindSoftmax); err != nil {
+				return err
+			}
+		case *activation:
+			var kind uint8
+			switch t.name {
+			case "sigmoid":
+				kind = kindSigmoid
+			case "relu":
+				kind = kindReLU
+			case "tanh":
+				kind = kindTanh
+			default:
+				return fmt.Errorf("nn: cannot serialize activation %q", t.name)
+			}
+			if err := binary.Write(cw, binary.LittleEndian, kind); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("nn: cannot serialize layer %q", l.Name())
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, cw.crc)
+}
+
+// Load reads a network from the KML model file format.
+func Load(r io.Reader) (*Network, error) {
+	cr := &crcReader{r: r}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(cr, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadModel, magic)
+	}
+	var version, count uint16
+	if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadModel, version)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+	}
+	if count == 0 || count > 1024 {
+		return nil, fmt.Errorf("%w: layer count %d", ErrBadModel, count)
+	}
+	layers := make([]Layer, 0, count)
+	for i := 0; i < int(count); i++ {
+		var kind uint8
+		if err := binary.Read(cr, binary.LittleEndian, &kind); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+		}
+		switch kind {
+		case kindLinear:
+			var in, out uint32
+			if err := binary.Read(cr, binary.LittleEndian, &in); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &out); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+			}
+			if in == 0 || out == 0 || in > 1<<20 || out > 1<<20 {
+				return nil, fmt.Errorf("%w: linear dims %dx%d", ErrBadModel, in, out)
+			}
+			l := &Linear{
+				in: int(in), out: int(out),
+				w:  matrix.New[float64](int(in), int(out)),
+				b:  matrix.New[float64](1, int(out)),
+				dw: matrix.New[float64](int(in), int(out)),
+				db: matrix.New[float64](1, int(out)),
+			}
+			if err := readFloats(cr, l.w.Data()); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+			}
+			if err := readFloats(cr, l.b.Data()); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
+			}
+			layers = append(layers, l)
+		case kindSigmoid:
+			layers = append(layers, NewSigmoid())
+		case kindReLU:
+			layers = append(layers, NewReLU())
+		case kindTanh:
+			layers = append(layers, NewTanh())
+		case kindSoftmax:
+			layers = append(layers, NewSoftmax())
+		default:
+			return nil, fmt.Errorf("%w: layer kind %d", ErrBadModel, kind)
+		}
+	}
+	want := cr.crc
+	var got uint32
+	if err := binary.Read(r, binary.LittleEndian, &got); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum: %v", ErrBadModel, err)
+	}
+	if got != want {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadModel)
+	}
+	return NewNetwork(layers...), nil
+}
+
+// SaveFile writes the model to path, creating or truncating it.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := n.Save(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model saved with SaveFile — the "deploy into the kernel
+// module" step of the paper's workflow.
+func LoadFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}
+
+func writeFloats(w io.Writer, fs []float64) error {
+	buf := make([]byte, 8*len(fs))
+	for i, f := range fs {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(f))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFloats(r io.Reader, fs []float64) error {
+	buf := make([]byte, 8*len(fs))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	for i := range fs {
+		fs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/clock"
+)
+
+// TestRandomizedInvariants drives the cache with a random mix of reads,
+// writes, syncs, readahead changes, hints and drops, checking structural
+// invariants after every step: capacity respected, LRU list consistent
+// with the page map, dirty count consistent, clock monotonic.
+func TestRandomizedInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		rng := rand.New(rand.NewSource(seed))
+		clk := clock.New()
+		dev := blockdev.New(blockdev.SATASSD(), clk)
+		c := New(Config{CapacityPages: 64, DirtyRatio: 0.3, WritebackBatch: 8}, clk, dev, nil)
+		c.SetFilePages(1, 500)
+		c.SetFilePages(2, 500)
+		last := clk.Now()
+		for op := 0; op < 3000; op++ {
+			f := FileID(1 + rng.Intn(2))
+			off := int64(rng.Intn(490))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3, 4:
+				c.ReadPages(f, off, 1+rng.Intn(3))
+			case 5, 6:
+				c.WritePages(f, off, 1+rng.Intn(3))
+			case 7:
+				c.SyncFile(f)
+			case 8:
+				c.SetFileReadahead(f, []int{0, 8, 64, 256, 1024}[rng.Intn(5)])
+			case 9:
+				if rng.Intn(10) == 0 {
+					c.DropFile(f)
+				} else {
+					c.Fadvise(f, Hint(rng.Intn(3)))
+				}
+			}
+			if clk.Now() < last {
+				t.Fatalf("seed %d op %d: clock went backward", seed, op)
+			}
+			last = clk.Now()
+			checkInvariants(t, c, seed, op)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, c *Cache, seed int64, op int) {
+	t.Helper()
+	if len(c.pages) > c.cfg.CapacityPages {
+		t.Fatalf("seed %d op %d: %d pages exceed capacity %d", seed, op, len(c.pages), c.cfg.CapacityPages)
+	}
+	// Walk the LRU list both ways; it must contain exactly the map's pages.
+	fwd := 0
+	var prev *page
+	for p := c.head; p != nil; p = p.next {
+		if p.prev != prev {
+			t.Fatalf("seed %d op %d: broken prev link", seed, op)
+		}
+		if got, ok := c.pages[p.key]; !ok {
+			t.Fatalf("seed %d op %d: LRU node %+v missing from map (dirty=%v spec=%v marker=%v)", seed, op, p.key, p.dirty, p.spec, p.marker)
+		} else if got != p {
+			t.Fatalf("seed %d op %d: stale LRU node for %+v", seed, op, p.key)
+		}
+		prev = p
+		fwd++
+		if fwd > len(c.pages)+1 {
+			t.Fatalf("seed %d op %d: LRU cycle", seed, op)
+		}
+	}
+	if fwd != len(c.pages) {
+		t.Fatalf("seed %d op %d: LRU has %d nodes, map has %d", seed, op, fwd, len(c.pages))
+	}
+	if c.tail != prev {
+		t.Fatalf("seed %d op %d: tail mismatch", seed, op)
+	}
+	// Dirty count matches the map.
+	dirty := 0
+	for _, p := range c.pages {
+		if p.dirty {
+			dirty++
+		}
+	}
+	if dirty != c.dirtyCount {
+		t.Fatalf("seed %d op %d: dirtyCount %d, actual %d", seed, op, c.dirtyCount, dirty)
+	}
+}
+
+// TestReadaheadNeverCrossesEOF checks the window clamp under many sizes.
+func TestReadaheadNeverCrossesEOF(t *testing.T) {
+	clk := clock.New()
+	dev := blockdev.New(blockdev.NVMe(), clk)
+	dev.SetReadahead(1024)
+	c := New(Config{CapacityPages: 4096}, clk, dev, nil)
+	const filePages = 37
+	c.SetFilePages(9, filePages)
+	// Sequential scan to the end, repeatedly.
+	for pass := 0; pass < 3; pass++ {
+		for off := int64(0); off < filePages; off++ {
+			c.ReadPages(9, off, 1)
+		}
+	}
+	for idx := int64(filePages); idx < filePages+256; idx++ {
+		if c.Contains(9, idx) {
+			t.Fatalf("page %d beyond EOF (%d pages) was fetched", idx, filePages)
+		}
+	}
+}
+
+// TestStatsConsistency: hits+misses equals pages requested; inserted ≥
+// misses (windows add speculative pages).
+func TestStatsConsistency(t *testing.T) {
+	clk := clock.New()
+	dev := blockdev.New(blockdev.NVMe(), clk)
+	c := New(Config{CapacityPages: 512}, clk, dev, nil)
+	c.SetFilePages(1, 10000)
+	rng := rand.New(rand.NewSource(4))
+	requested := uint64(0)
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(3)
+		c.ReadPages(1, int64(rng.Intn(5000)), n)
+		requested += uint64(n)
+	}
+	s := c.Stats()
+	if s.Hits+s.Misses != requested {
+		t.Errorf("hits %d + misses %d != requested %d", s.Hits, s.Misses, requested)
+	}
+	if s.Inserted < s.Misses {
+		t.Errorf("inserted %d < misses %d", s.Inserted, s.Misses)
+	}
+	if s.SpecUsed > s.SpecInserted {
+		t.Errorf("spec used %d > inserted %d", s.SpecUsed, s.SpecInserted)
+	}
+}

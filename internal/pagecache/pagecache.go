@@ -1,0 +1,714 @@
+// Package pagecache simulates the OS memory-management subsystem the
+// paper's KML application instruments and controls: a page cache with LRU
+// reclaim, dirty-page writeback, and — most importantly — a Linux-flavored
+// on-demand readahead engine with per-file readahead state, sequential
+// window ramp-up, asynchronous readahead markers, per-file ra_pages
+// overrides and fadvise hints.
+//
+// # Readahead model
+//
+// The engine follows the structure of Linux's ondemand_readahead:
+//
+//   - A cache miss that continues the file's previous request (sequential)
+//     grows the window (get_next_ra_size: ×4 below max/16, ×2 below max/2,
+//     else max) and fetches it, placing an async marker after the
+//     synchronously needed portion.
+//   - A hit on a marker page triggers the next window asynchronously, so a
+//     detected stream becomes bandwidth-bound rather than latency-bound.
+//   - A random miss fetches get_init_ra_size(req, max) pages: requests are
+//     speculatively rounded up (×4 below max/32, ×2 below max/4, else max),
+//     which is precisely the over-read that the paper's readahead tuning
+//     eliminates for random workloads by lowering ra_pages.
+//   - Pages already cached inside a window are never re-fetched; backward
+//     scans therefore see almost no speculative waste, matching the small
+//     readreverse gains in the paper's Table 2.
+//
+// Speculative pages occupy the device (delaying later requests) and the
+// cache (evicting useful pages) — the two mechanisms that make readahead
+// tuning matter on real systems.
+//
+// The cache emits the tracepoints the paper collects: add_to_page_cache on
+// every page insertion and writeback_dirty_page on every page dirtying.
+package pagecache
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// FileID identifies a file (the simulated inode number).
+type FileID uint64
+
+// Hint is a per-file access-pattern hint (the fadvise analogue, §4:
+// "hints that users can provide through system calls such as fadvise").
+type Hint uint8
+
+// Fadvise hints.
+const (
+	// HintNormal applies the standard on-demand heuristic.
+	HintNormal Hint = iota
+	// HintSequential doubles the effective readahead (POSIX_FADV_SEQUENTIAL).
+	HintSequential
+	// HintRandom disables speculative readahead (POSIX_FADV_RANDOM).
+	HintRandom
+)
+
+// Config parameterizes the cache.
+type Config struct {
+	// CapacityPages bounds the cache size; required.
+	CapacityPages int
+	// DirtyRatio triggers background writeback when exceeded; 0 means 0.10.
+	DirtyRatio float64
+	// WritebackBatch is the number of pages flushed per writeback burst;
+	// 0 means 64.
+	WritebackBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DirtyRatio == 0 {
+		c.DirtyRatio = 0.10
+	}
+	if c.WritebackBatch == 0 {
+		c.WritebackBatch = 64
+	}
+	return c
+}
+
+type pageKey struct {
+	file FileID
+	idx  int64
+}
+
+type page struct {
+	key     pageKey
+	readyAt time.Duration
+	dirty   bool
+	marker  bool // async readahead trigger
+	spec    bool // inserted speculatively, not yet used
+	// intrusive LRU list links
+	prev, next *page
+}
+
+// Stats aggregates cache behaviour.
+type Stats struct {
+	Hits         uint64
+	WaitHits     uint64 // hits on in-flight readahead pages
+	Misses       uint64
+	Inserted     uint64
+	SpecInserted uint64
+	SpecUsed     uint64 // speculative pages later actually read
+	Evicted      uint64
+	DirtyEvicted uint64
+	Writebacks   uint64
+	WaitTime     time.Duration
+}
+
+// raState is the per-file readahead state (struct file_ra_state analogue).
+type raState struct {
+	nextSeq  int64 // page index one past the previous request (sequential test)
+	start    int64 // start of the current readahead window
+	size     int   // window size in pages
+	frontier int64 // one past the highest page fetched for this stream
+}
+
+// Cache is the simulated page cache.
+type Cache struct {
+	cfg    Config
+	clk    *clock.Virtual
+	dev    *blockdev.Device
+	tracer *trace.Tracer
+
+	pages map[pageKey]*page
+	// LRU list: head = most recent, tail = eviction candidate.
+	head, tail *page
+
+	files     map[FileID]*raState
+	fileRA    map[FileID]int // per-file ra override in sectors (ra_pages)
+	hints     map[FileID]Hint
+	filePages map[FileID]int64 // file sizes in pages; readahead never crosses EOF
+
+	dirtyFIFO  []pageKey
+	dirtyCount int
+
+	stats Stats
+}
+
+// New returns a page cache over dev, emitting tracepoints through tracer
+// (which may be nil to disable tracing).
+func New(cfg Config, clk *clock.Virtual, dev *blockdev.Device, tracer *trace.Tracer) *Cache {
+	if cfg.CapacityPages <= 0 {
+		panic("pagecache: CapacityPages must be positive")
+	}
+	return &Cache{
+		cfg:       cfg.withDefaults(),
+		clk:       clk,
+		dev:       dev,
+		tracer:    tracer,
+		pages:     make(map[pageKey]*page),
+		files:     make(map[FileID]*raState),
+		fileRA:    make(map[FileID]int),
+		hints:     make(map[FileID]Hint),
+		filePages: make(map[FileID]int64),
+	}
+}
+
+// --- intrusive LRU ---
+
+func (c *Cache) lruPush(p *page) {
+	p.prev = nil
+	p.next = c.head
+	if c.head != nil {
+		c.head.prev = p
+	}
+	c.head = p
+	if c.tail == nil {
+		c.tail = p
+	}
+}
+
+func (c *Cache) lruRemove(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		c.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		c.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (c *Cache) lruTouch(p *page) {
+	if c.head == p {
+		return
+	}
+	c.lruRemove(p)
+	c.lruPush(p)
+}
+
+// --- readahead window sizing (Linux get_init_ra_size / get_next_ra_size) ---
+
+func roundupPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// initWindow mirrors Linux get_init_ra_size: speculatively round the
+// request up, bounded by the configured maximum.
+func initWindow(req, max int) int {
+	if max <= 0 {
+		return req
+	}
+	size := roundupPow2(req)
+	switch {
+	case size <= max/32:
+		size *= 4
+	case size <= max/4:
+		size *= 2
+	default:
+		size = max
+	}
+	if size < req {
+		size = req
+	}
+	if size > max && max >= req {
+		size = max
+	}
+	return size
+}
+
+// nextWindow mirrors Linux get_next_ra_size: ramp the sequential window.
+func nextWindow(cur, max int) int {
+	if max <= 0 {
+		return cur
+	}
+	var size int
+	switch {
+	case cur < max/16:
+		size = cur * 4
+	case cur <= max/2:
+		size = cur * 2
+	default:
+		size = max
+	}
+	if size > max {
+		size = max
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// raPagesFor resolves the effective readahead maximum for a file:
+// per-file override, else device setting, adjusted by the fadvise hint.
+func (c *Cache) raPagesFor(f FileID) int {
+	sectors, ok := c.fileRA[f]
+	if !ok || sectors == 0 {
+		sectors = c.dev.ReadaheadSectors()
+	}
+	pages := sectors / blockdev.SectorsPerPage
+	switch c.hints[f] {
+	case HintSequential:
+		pages *= 2
+	case HintRandom:
+		pages = 0
+	}
+	return pages
+}
+
+func (c *Cache) state(f FileID) *raState {
+	st, ok := c.files[f]
+	if !ok {
+		st = &raState{nextSeq: -1}
+		c.files[f] = st
+	}
+	return st
+}
+
+// ReadPages simulates a buffered read of pages [off, off+n) of file f,
+// advancing the virtual clock by the resulting cache/device behaviour.
+func (c *Cache) ReadPages(f FileID, off int64, n int) {
+	if n <= 0 || off < 0 {
+		panic(fmt.Sprintf("pagecache: ReadPages(%d, %d, %d)", f, off, n))
+	}
+	st := c.state(f)
+	seq := off == st.nextSeq && st.nextSeq > 0
+	end := off + int64(n)
+	for i := off; i < end; {
+		pg, ok := c.pages[pageKey{f, i}]
+		if !ok {
+			c.missFetch(f, st, i, int(end-i), seq)
+			// missFetch covered the remainder of the request.
+			break
+		}
+		c.hit(pg, f, st)
+		i++
+	}
+	st.nextSeq = end
+}
+
+// missFetch handles a cache miss at page start with need pages remaining in
+// the request: size a window, fetch the uncached pages in one device
+// request (needed portion synchronously, speculative remainder
+// asynchronously), and place the async marker for sequential streams.
+func (c *Cache) missFetch(f FileID, st *raState, start int64, need int, seq bool) {
+	max := c.raPagesFor(f)
+	switch {
+	case seq && max > 0:
+		st.size = nextWindow(st.size, max)
+		if st.size < need {
+			st.size = need
+		}
+	case max > 0:
+		// Random miss. Linux's ondemand_readahead first tries context
+		// readahead: if the pages immediately before the missed index are
+		// resident, it infers an interleaved stream and sizes the window
+		// from that cached run (try_context_readahead). On partially
+		// cached files under random access this systematically over-reads
+		// — the pathology that tuning ra_pages down eliminates, and a
+		// load-bearing part of the paper's readrandom gains.
+		if run := c.cachedRunBefore(f, start, max); run > need {
+			st.size = run * 2
+			if st.size > max {
+				st.size = max
+			}
+			if st.size < need {
+				st.size = need
+			}
+		} else {
+			st.size = initWindow(need, max)
+		}
+	default:
+		st.size = need
+	}
+	window := st.size
+	// Readahead never crosses EOF (Linux clamps the window to the file).
+	if limit, ok := c.filePages[f]; ok && start+int64(window) > limit {
+		window = int(limit - start)
+		if window < need {
+			window = need // the caller's own pages are always fetched
+		}
+		st.size = window
+	}
+	st.start = start
+	st.frontier = start + int64(window)
+
+	// Partition the window into needed-and-uncached vs speculative-and-
+	// uncached pages; pages already cached are skipped (never re-fetched).
+	var fgCount, specCount int
+	var cachedInNeed []*page
+	for w := 0; w < window; w++ {
+		idx := start + int64(w)
+		if pg, ok := c.pages[pageKey{f, idx}]; ok {
+			if w < need {
+				cachedInNeed = append(cachedInNeed, pg)
+			}
+			continue
+		}
+		if w < need {
+			fgCount++
+		} else {
+			specCount++
+		}
+	}
+	if fgCount == 0 {
+		// Entire needed range was cached after all (interleaved hits);
+		// nothing to fetch synchronously.
+		for _, pg := range cachedInNeed {
+			c.hit(pg, f, st)
+		}
+		return
+	}
+	fgReady, winReady := c.dev.SyncRead(fgCount, fgCount+specCount)
+
+	markerAt := int64(-1)
+	if specCount > 0 {
+		// Async marker goes on the first speculative page, so a stream
+		// that reaches it refills ahead of consumption.
+		markerAt = start + int64(need)
+	}
+	for w := 0; w < window; w++ {
+		idx := start + int64(w)
+		key := pageKey{f, idx}
+		if pg, ok := c.pages[key]; ok {
+			if w < need {
+				c.hit(pg, f, st)
+			}
+			continue
+		}
+		ready := winReady
+		specPage := w >= need
+		if !specPage {
+			// Counted here rather than during partitioning: a page that
+			// was cached then may have been evicted by this very window's
+			// insertions, and every needed page must land in exactly one
+			// of hits or misses.
+			c.stats.Misses++
+			ready = fgReady
+		}
+		pg := c.insert(key, ready, specPage)
+		if idx == markerAt {
+			pg.marker = true
+		}
+	}
+}
+
+// cachedRunBefore counts consecutively cached pages immediately below
+// index (the history try_context_readahead consults), capped at max.
+func (c *Cache) cachedRunBefore(f FileID, index int64, max int) int {
+	run := 0
+	for i := index - 1; i >= 0 && run < max; i-- {
+		if _, ok := c.pages[pageKey{f, i}]; !ok {
+			break
+		}
+		run++
+	}
+	return run
+}
+
+// hit processes a cache hit: touch the page, consume its flags, trigger
+// async readahead from a marker, and wait for in-flight arrival.
+//
+// Ordering is load-bearing: the page moves to MRU and its state is read
+// BEFORE asyncAhead runs, because the readahead's insertions may evict
+// pages — in pathological window-vs-capacity ratios even this one — and
+// the page must not be dereferenced (or re-linked) after that.
+func (c *Cache) hit(pg *page, f FileID, st *raState) {
+	c.stats.Hits++
+	c.lruTouch(pg)
+	if pg.spec {
+		pg.spec = false
+		c.stats.SpecUsed++
+	}
+	marker := pg.marker
+	pg.marker = false
+	readyAt := pg.readyAt
+	if marker {
+		c.asyncAhead(f, st) // pg may be gone after this
+	}
+	if readyAt > c.clk.Now() {
+		c.stats.WaitHits++
+		c.stats.WaitTime += readyAt - c.clk.Now()
+		c.dev.Wait(readyAt)
+	}
+}
+
+// asyncAhead extends a detected stream: fetch the next window in the
+// background and move the marker forward.
+func (c *Cache) asyncAhead(f FileID, st *raState) {
+	max := c.raPagesFor(f)
+	if max <= 0 {
+		return
+	}
+	st.size = nextWindow(st.size, max)
+	start := st.frontier
+	window := st.size
+	if limit, ok := c.filePages[f]; ok {
+		if start >= limit {
+			return // stream reached EOF
+		}
+		if start+int64(window) > limit {
+			window = int(limit - start)
+		}
+	}
+	var toFetch []int64
+	for w := 0; w < window; w++ {
+		idx := start + int64(w)
+		if _, ok := c.pages[pageKey{f, idx}]; !ok {
+			toFetch = append(toFetch, idx)
+		}
+	}
+	st.start = start
+	st.frontier = start + int64(window)
+	if len(toFetch) == 0 {
+		return
+	}
+	ready := c.dev.AsyncRead(len(toFetch))
+	for i, idx := range toFetch {
+		pg := c.insert(pageKey{f, idx}, ready, true)
+		if i == 0 {
+			pg.marker = true
+		}
+	}
+}
+
+// insert adds a page to the cache (evicting as needed) and fires the
+// add_to_page_cache tracepoint.
+func (c *Cache) insert(key pageKey, readyAt time.Duration, spec bool) *page {
+	if _, ok := c.pages[key]; ok {
+		panic(fmt.Sprintf("pagecache: double insert of %+v", key))
+	}
+	c.evictFor(1)
+	pg := &page{key: key, readyAt: readyAt, spec: spec}
+	c.pages[key] = pg
+	c.lruPush(pg)
+	c.stats.Inserted++
+	if spec {
+		c.stats.SpecInserted++
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(trace.Event{
+			Point:  trace.AddToPageCache,
+			Inode:  uint64(key.file),
+			Offset: key.idx,
+			Time:   c.clk.Now(),
+		})
+	}
+	return pg
+}
+
+// evictFor makes room for n new pages.
+func (c *Cache) evictFor(n int) {
+	for len(c.pages)+n > c.cfg.CapacityPages && c.tail != nil {
+		victim := c.tail
+		if victim.dirty {
+			// Must clean before reclaim; count it and write it back.
+			c.dev.WriteAsync(1)
+			c.stats.Writebacks++
+			c.stats.DirtyEvicted++
+			victim.dirty = false
+			c.dirtyCount--
+		}
+		c.lruRemove(victim)
+		delete(c.pages, victim.key)
+		c.stats.Evicted++
+	}
+}
+
+// WritePages simulates a buffered write of pages [off, off+n) of file f:
+// pages are allocated in the cache if absent and dirtied, firing the
+// writeback_dirty_page tracepoint; background writeback runs when the
+// dirty ratio is exceeded.
+func (c *Cache) WritePages(f FileID, off int64, n int) {
+	if n <= 0 || off < 0 {
+		panic(fmt.Sprintf("pagecache: WritePages(%d, %d, %d)", f, off, n))
+	}
+	for i := off; i < off+int64(n); i++ {
+		key := pageKey{f, i}
+		pg, ok := c.pages[key]
+		if !ok {
+			pg = c.insert(key, c.clk.Now(), false)
+		} else {
+			c.lruTouch(pg)
+			pg.spec = false
+		}
+		if !pg.dirty {
+			pg.dirty = true
+			c.dirtyCount++
+			c.dirtyFIFO = append(c.dirtyFIFO, key)
+			if c.tracer != nil {
+				c.tracer.Emit(trace.Event{
+					Point:  trace.WritebackDirtyPage,
+					Inode:  uint64(f),
+					Offset: i,
+					Time:   c.clk.Now(),
+				})
+			}
+		}
+	}
+	c.maybeWriteback()
+	// Writes also reset the file's sequential-read state: interleaved
+	// writes break read streams, as in Linux.
+	c.state(f).nextSeq = off + int64(n)
+}
+
+// maybeWriteback flushes dirty pages in FIFO order while over threshold.
+func (c *Cache) maybeWriteback() {
+	threshold := int(c.cfg.DirtyRatio * float64(c.cfg.CapacityPages))
+	for c.dirtyCount > threshold {
+		batch := 0
+		for batch < c.cfg.WritebackBatch && len(c.dirtyFIFO) > 0 {
+			key := c.dirtyFIFO[0]
+			c.dirtyFIFO = c.dirtyFIFO[1:]
+			pg, ok := c.pages[key]
+			if !ok || !pg.dirty {
+				continue // evicted or already cleaned: lazy deletion
+			}
+			pg.dirty = false
+			c.dirtyCount--
+			batch++
+		}
+		if batch == 0 {
+			return
+		}
+		c.dev.WriteAsync(batch)
+		c.stats.Writebacks += uint64(batch)
+	}
+}
+
+// SyncFile writes back all dirty pages of f and blocks until durable
+// (the fsync path).
+func (c *Cache) SyncFile(f FileID) {
+	batch := 0
+	for _, pg := range c.pages {
+		if pg.key.file == f && pg.dirty {
+			pg.dirty = false
+			c.dirtyCount--
+			batch++
+		}
+	}
+	if batch > 0 {
+		c.stats.Writebacks += uint64(batch)
+		c.dev.WriteSync(batch)
+	}
+}
+
+// SetFilePages records a file's size in pages so readahead windows clamp
+// at EOF, as in Linux. The VFS layer calls it on growth and truncation.
+func (c *Cache) SetFilePages(f FileID, pages int64) {
+	if pages < 0 {
+		panic("pagecache: negative file size")
+	}
+	c.filePages[f] = pages
+}
+
+// SetFileReadahead overrides ra_pages for one file, in sectors (0 restores
+// the device default). This is the "updating ra_pages for open files" path
+// of the paper's Figure 1.
+func (c *Cache) SetFileReadahead(f FileID, sectors int) {
+	if sectors == 0 {
+		delete(c.fileRA, f)
+		return
+	}
+	if sectors < blockdev.SectorsPerPage {
+		sectors = blockdev.SectorsPerPage
+	}
+	c.fileRA[f] = sectors
+}
+
+// Fadvise records an access-pattern hint for f.
+func (c *Cache) Fadvise(f FileID, h Hint) {
+	if h == HintNormal {
+		delete(c.hints, f)
+		return
+	}
+	c.hints[f] = h
+}
+
+// DropAll empties the cache (the "clear the cache after every run" step in
+// the paper's evaluation), writing back dirty pages first.
+func (c *Cache) DropAll() {
+	batch := 0
+	for _, pg := range c.pages {
+		if pg.dirty {
+			batch++
+		}
+	}
+	if batch > 0 {
+		c.stats.Writebacks += uint64(batch)
+		c.dev.WriteSync(batch)
+	}
+	c.pages = make(map[pageKey]*page)
+	c.head, c.tail = nil, nil
+	c.files = make(map[FileID]*raState)
+	c.dirtyFIFO = nil
+	c.dirtyCount = 0
+}
+
+// DropFile invalidates all cached pages of one file (truncate/remove path).
+// Dirty pages of the file are written back first.
+func (c *Cache) DropFile(f FileID) {
+	var victims []*page
+	batch := 0
+	for _, pg := range c.pages {
+		if pg.key.file != f {
+			continue
+		}
+		if pg.dirty {
+			pg.dirty = false
+			c.dirtyCount--
+			batch++
+		}
+		victims = append(victims, pg)
+	}
+	if batch > 0 {
+		c.stats.Writebacks += uint64(batch)
+		c.dev.WriteAsync(batch)
+	}
+	for _, pg := range victims {
+		c.lruRemove(pg)
+		delete(c.pages, pg.key)
+		c.stats.Evicted++
+	}
+	delete(c.files, f)
+	delete(c.fileRA, f)
+	delete(c.hints, f)
+	delete(c.filePages, f)
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// DirtyLen returns the number of dirty pages.
+func (c *Cache) DirtyLen() int { return c.dirtyCount }
+
+// Contains reports whether a page is cached (for tests and experiments).
+func (c *Cache) Contains(f FileID, idx int64) bool {
+	_, ok := c.pages[pageKey{f, idx}]
+	return ok
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears statistics without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

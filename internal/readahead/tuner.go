@@ -1,0 +1,171 @@
+package readahead
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/blockdev"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Policy maps a predicted workload class to the readahead value (sectors)
+// that maximized throughput for that class in the sweep study — the
+// "mapping from the workload type to the readahead value that provided the
+// best throughput" the paper builds empirically (§4).
+type Policy [workload.NumClasses]int
+
+// DefaultPolicy returns the per-class readahead values found by the sweep
+// (cmd/kml-sweep regenerates them): sequential scans want a window large
+// enough to stream — beyond which throughput is flat — while
+// random-dominated workloads want readahead out of the way. The readseq
+// optimum is the only value that differs between devices: NVMe saturates
+// with a small window, the SATA SSD needs a larger one to amortize command
+// overhead.
+func DefaultPolicy(prof blockdev.Profile) Policy {
+	seq := 224
+	if prof.Name == blockdev.NVMe().Name {
+		seq = 32
+	}
+	return Policy{
+		0: seq, // readseq
+		1: 8,   // readrandom
+		2: 8,   // readreverse
+		3: 8,   // readrandomwriterandom
+	}
+}
+
+// Decision is one tuning step, recorded for the Figure-2 timeline.
+type Decision struct {
+	Time    time.Duration
+	Class   int
+	Sectors int
+	Events  uint64 // tracepoints in the decided window
+}
+
+// TunerConfig parameterizes the closed loop.
+type TunerConfig struct {
+	// Window is the decision interval; 0 means 1 second (the paper runs
+	// inference "in a different thread context once a second").
+	Window time.Duration
+	// BufferCapacity sizes the collection ring; 0 means 1<<16 records.
+	BufferCapacity int
+	// Policy maps classes to sectors; the zero Policy is replaced by
+	// DefaultPolicy for the tuned device.
+	Policy Policy
+}
+
+// Tuner is the deployed KML readahead application: it collects tracepoint
+// records through a lock-free pipeline, extracts one feature window per
+// second, classifies the running workload, and drives the device readahead
+// setting (the block-layer ioctl path of Figure 1).
+type Tuner struct {
+	dev      *blockdev.Device
+	model    core.Classifier
+	norm     features.Normalizer
+	policy   Policy
+	window   time.Duration
+	pipeline *core.Pipeline[features.Record]
+	ext      *features.Extractor
+	featBuf  []float64
+	nextTick time.Duration
+	started  bool
+
+	decisions []Decision
+}
+
+// NewTuner builds a tuner around a trained classifier and its fitted
+// normalizer.
+func NewTuner(dev *blockdev.Device, model core.Classifier, norm features.Normalizer, cfg TunerConfig) (*Tuner, error) {
+	if dev == nil || model == nil {
+		return nil, errors.New("readahead: nil device or model")
+	}
+	if cfg.Window == 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.BufferCapacity == 0 {
+		cfg.BufferCapacity = 1 << 16
+	}
+	if cfg.Policy == (Policy{}) {
+		cfg.Policy = DefaultPolicy(dev.Profile())
+	}
+	t := &Tuner{
+		dev:     dev,
+		model:   model,
+		norm:    norm,
+		policy:  cfg.Policy,
+		window:  cfg.Window,
+		ext:     features.NewExtractor(),
+		featBuf: make([]float64, features.Count),
+	}
+	p, err := core.NewPipeline[features.Record](
+		core.Config{BufferCapacity: cfg.BufferCapacity, SampleBytes: 32},
+		func(batch []features.Record, _ core.Mode) {
+			for _, r := range batch {
+				t.ext.Add(r)
+			}
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	p.SetMode(core.ModeInference)
+	t.pipeline = p
+	return t, nil
+}
+
+// Hook returns the inline data-collection function to register on the
+// tracer. It costs one lock-free ring push per event.
+func (t *Tuner) Hook() trace.Hook {
+	return func(ev trace.Event) {
+		t.pipeline.Collect(features.Record{
+			Inode:  ev.Inode,
+			Offset: ev.Offset,
+			Time:   ev.Time,
+			Write:  ev.Point == trace.WritebackDirtyPage,
+		})
+	}
+}
+
+// MaybeTick drains the pipeline and, once per window, runs inference and
+// applies the policy. The simulation loop calls it between operations; in
+// a live deployment the pipeline's asynchronous thread plays this role.
+func (t *Tuner) MaybeTick(now time.Duration) {
+	t.pipeline.Flush()
+	if !t.started {
+		t.started = true
+		t.nextTick = now + t.window
+		return
+	}
+	if now < t.nextTick {
+		return
+	}
+	t.nextTick = now + t.window
+	events := t.ext.Events()
+	raw := t.ext.Emit(t.dev.ReadaheadSectors())
+	norm := t.norm
+	norm.ApplyInto(t.featBuf, raw)
+	class := t.model.Predict(t.featBuf)
+	sectors := t.policy[class%len(t.policy)]
+	t.dev.SetReadahead(sectors)
+	t.decisions = append(t.decisions, Decision{
+		Time:    now,
+		Class:   class,
+		Sectors: sectors,
+		Events:  events,
+	})
+}
+
+// Decisions returns the tuning history (the Figure-2 readahead series).
+func (t *Tuner) Decisions() []Decision { return t.decisions }
+
+// Dropped returns how many samples the collection ring discarded.
+func (t *Tuner) Dropped() uint64 { return t.pipeline.Dropped() }
+
+// Collected returns how many samples the hook accepted.
+func (t *Tuner) Collected() uint64 { return t.pipeline.Collected() }
+
+// Model returns the deployed classifier.
+func (t *Tuner) Model() core.Classifier { return t.model }

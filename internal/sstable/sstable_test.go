@@ -1,0 +1,327 @@
+package sstable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/blockdev"
+	"repro/internal/clock"
+	"repro/internal/pagecache"
+	"repro/internal/vfs"
+)
+
+func newFS() *vfs.FS {
+	clk := clock.New()
+	dev := blockdev.New(blockdev.NVMe(), clk)
+	cache := pagecache.New(pagecache.Config{CapacityPages: 1 << 18}, clk, dev, nil)
+	return vfs.New(cache)
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("value-%d-%s", i, "xxxxxxxxxxxxxxxxxxxx")) }
+
+func buildTable(t testing.TB, fs *vfs.FS, name string, n int) *Table {
+	t.Helper()
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder(f, 0)
+	for i := 0; i < n; i++ {
+		if err := b.Add(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Open(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestBuildOpenGet(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 1000)
+	if tbl.Entries() != 1000 {
+		t.Errorf("entries = %d", tbl.Entries())
+	}
+	if tbl.Blocks() < 2 {
+		t.Errorf("blocks = %d; expected multiple blocks", tbl.Blocks())
+	}
+	for _, i := range []int{0, 1, 499, 500, 998, 999} {
+		v, ok, err := tbl.Get(key(i))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(v, val(i)) {
+			t.Errorf("Get(%d) = %q", i, v)
+		}
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 100)
+	for _, k := range [][]byte{[]byte("aaa"), []byte("key00000500"), []byte("zzz")} {
+		if _, ok, err := tbl.Get(k); ok || err != nil {
+			t.Errorf("Get(%q): ok=%v err=%v", k, ok, err)
+		}
+	}
+}
+
+func TestBloomSkipsMostMisses(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 5000)
+	fs.Cache().DropAll()
+	fs.Cache().ResetStats()
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok, _ := tbl.Get([]byte(fmt.Sprintf("absent%08d", i))); ok {
+			t.Fatal("found absent key")
+		}
+	}
+	// With a 10-bit bloom, ≥95% of absent lookups must avoid block reads.
+	misses = int(fs.Cache().Stats().Misses)
+	if misses > 150 {
+		t.Errorf("bloom let %d block reads through for 1000 absent keys", misses)
+	}
+}
+
+func TestSmallestLargest(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 100)
+	if !bytes.Equal(tbl.Smallest(), key(0)) {
+		t.Errorf("smallest = %q", tbl.Smallest())
+	}
+	if !bytes.Equal(tbl.Largest(), key(99)) {
+		t.Errorf("largest = %q", tbl.Largest())
+	}
+}
+
+func TestBuilderRejectsDisorder(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("t")
+	b := NewBuilder(f, 0)
+	if err := b.Add([]byte("b"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add([]byte("a"), nil); err == nil {
+		t.Error("descending key must error")
+	}
+	if err := b.Add([]byte("b"), nil); err == nil {
+		t.Error("duplicate key must error")
+	}
+	if err := b.Add(nil, nil); err == nil {
+		t.Error("empty key must error")
+	}
+}
+
+func TestBuilderEmptyFinishErrors(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("t")
+	b := NewBuilder(f, 0)
+	if err := b.Finish(); err == nil {
+		t.Error("empty table must error")
+	}
+}
+
+func TestBuilderDoubleFinish(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("t")
+	b := NewBuilder(f, 0)
+	b.Add([]byte("a"), []byte("1"))
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Finish(); err == nil {
+		t.Error("double Finish must error")
+	}
+	if err := b.Add([]byte("b"), nil); err == nil {
+		t.Error("Add after Finish must error")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("junk")
+	f.WriteAt(bytes.Repeat([]byte{0xAB}, 4096), 0)
+	if _, err := Open(f); !errors.Is(err, ErrBadTable) {
+		t.Errorf("garbage open: %v", err)
+	}
+	tiny, _ := fs.Create("tiny")
+	tiny.WriteAt([]byte("x"), 0)
+	if _, err := Open(tiny); !errors.Is(err, ErrBadTable) {
+		t.Errorf("tiny open: %v", err)
+	}
+}
+
+func TestIteratorForward(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 500)
+	it := tbl.NewIterator()
+	it.SeekToFirst()
+	count := 0
+	var prev []byte
+	for it.Valid() {
+		if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+			t.Fatal("keys out of order")
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+		it.Next()
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Errorf("iterated %d keys", count)
+	}
+}
+
+func TestIteratorReverse(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 500)
+	it := tbl.NewIterator()
+	it.SeekToLast()
+	count := 0
+	var prev []byte
+	for it.Valid() {
+		if prev != nil && bytes.Compare(it.Key(), prev) >= 0 {
+			t.Fatal("keys out of order (reverse)")
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+		it.Prev()
+	}
+	if count != 500 {
+		t.Errorf("iterated %d keys in reverse", count)
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 100)
+	it := tbl.NewIterator()
+	it.Seek(key(42))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(42)) {
+		t.Fatalf("seek exact: %q", it.Key())
+	}
+	// Seek between keys lands on the next one.
+	it.Seek([]byte("key00000042x"))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(43)) {
+		t.Fatalf("seek between: valid=%v", it.Valid())
+	}
+	// Seek past the end is invalid.
+	it.Seek([]byte("zzz"))
+	if it.Valid() {
+		t.Error("seek past end must be invalid")
+	}
+	// Seek before the start lands on the first key.
+	it.Seek([]byte("a"))
+	if !it.Valid() || !bytes.Equal(it.Key(), key(0)) {
+		t.Error("seek before start")
+	}
+}
+
+func TestIteratorCrossesBlockBoundaries(t *testing.T) {
+	fs := newFS()
+	tbl := buildTable(t, fs, "t1", 2000)
+	if tbl.Blocks() < 3 {
+		t.Skip("need multiple blocks")
+	}
+	// Walk forward then backward across the whole table; counts must match.
+	it := tbl.NewIterator()
+	it.SeekToFirst()
+	fwd := 0
+	for it.Valid() {
+		fwd++
+		it.Next()
+	}
+	it.SeekToLast()
+	rev := 0
+	for it.Valid() {
+		rev++
+		it.Prev()
+	}
+	if fwd != rev || fwd != 2000 {
+		t.Errorf("fwd %d rev %d", fwd, rev)
+	}
+}
+
+func TestValuesSurviveRoundTrip(t *testing.T) {
+	fs := newFS()
+	f, _ := fs.Create("t")
+	b := NewBuilder(f, 0)
+	// Empty values and binary values.
+	b.Add([]byte("a"), nil)
+	b.Add([]byte("b"), []byte{0, 1, 2, 255})
+	if err := b.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := Open(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tbl.Get([]byte("a"))
+	if !ok || len(v) != 0 {
+		t.Error("empty value")
+	}
+	v, ok, _ = tbl.Get([]byte("b"))
+	if !ok || !bytes.Equal(v, []byte{0, 1, 2, 255}) {
+		t.Error("binary value")
+	}
+}
+
+func TestBloomFilter(t *testing.T) {
+	b := NewBloom(1000, 10)
+	for i := 0; i < 1000; i++ {
+		b.Add(key(i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.MayContain(key(i)) {
+			t.Fatal("false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.MayContain([]byte(fmt.Sprintf("no%08d", i))) {
+			fp++
+		}
+	}
+	if rate := float64(fp) / 10000; rate > 0.05 {
+		t.Errorf("false positive rate %.4f", rate)
+	}
+}
+
+func TestBloomMarshalRoundTrip(t *testing.T) {
+	b := NewBloom(100, 10)
+	b.Add([]byte("hello"))
+	got, err := UnmarshalBloom(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.MayContain([]byte("hello")) {
+		t.Error("round trip lost key")
+	}
+	if _, err := UnmarshalBloom([]byte{1}); err == nil {
+		t.Error("short bloom must error")
+	}
+	if _, err := UnmarshalBloom(make([]byte, 16)); err == nil {
+		t.Error("k=0 bloom must error")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	fs := newFS()
+	tbl := buildTable(b, fs, "t1", 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Get(key(i % 10000))
+	}
+}

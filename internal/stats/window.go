@@ -1,0 +1,87 @@
+package stats
+
+// Window is a fixed-size sliding window with O(1) mean and variance
+// maintenance — the "moving average" and "moving standard deviation" in
+// the paper's data-normalization toolbox (§3.2) in their windowed form,
+// complementing the cumulative CMA/Running aggregates.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+	sum  float64
+	sum2 float64
+}
+
+// NewWindow returns a sliding window over the last size samples.
+func NewWindow(size int) *Window {
+	if size <= 0 {
+		panic("stats: window size must be positive")
+	}
+	return &Window{buf: make([]float64, size)}
+}
+
+// Add appends x, evicting the oldest sample once the window is full.
+func (w *Window) Add(x float64) {
+	if w.n == len(w.buf) {
+		old := w.buf[w.head]
+		w.sum -= old
+		w.sum2 -= old * old
+	} else {
+		w.n++
+	}
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % len(w.buf)
+	w.sum += x
+	w.sum2 += x * x
+}
+
+// Len returns the number of samples currently in the window.
+func (w *Window) Len() int { return w.n }
+
+// Full reports whether the window holds size samples.
+func (w *Window) Full() bool { return w.n == len(w.buf) }
+
+// Mean returns the window mean (0 when empty).
+func (w *Window) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+// Variance returns the window population variance (0 with <2 samples).
+// The sum-of-squares form can suffer cancellation for data with a huge
+// mean-to-spread ratio; KML's page-offset magnitudes are far inside the
+// safe range, and the tests bound the error against a direct computation.
+func (w *Window) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	v := w.sum2/float64(w.n) - m*m
+	if v < 0 {
+		return 0 // numerical floor
+	}
+	return v
+}
+
+// StdDev returns the window population standard deviation.
+func (w *Window) StdDev() float64 { return sqrt(w.Variance()) }
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.head, w.n, w.sum, w.sum2 = 0, 0, 0, 0
+}
+
+// sqrt is a local alias so this file mirrors the package's no-libm rule.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations seeded from x; inputs here are moderate.
+	y := x
+	for i := 0; i < 24; i++ {
+		y = 0.5 * (y + x/y)
+	}
+	return y
+}

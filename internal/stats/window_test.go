@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Error("empty window")
+	}
+	w.Add(1)
+	w.Add(2)
+	w.Add(3)
+	if !w.Full() || w.Len() != 3 {
+		t.Error("fill state")
+	}
+	if w.Mean() != 2 {
+		t.Errorf("mean = %g", w.Mean())
+	}
+	// Population variance of {1,2,3} = 2/3.
+	if math.Abs(w.Variance()-2.0/3.0) > 1e-12 {
+		t.Errorf("variance = %g", w.Variance())
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3)
+	for _, x := range []float64{10, 1, 2, 3} { // 10 evicted
+		w.Add(x)
+	}
+	if w.Mean() != 2 {
+		t.Errorf("mean after eviction = %g", w.Mean())
+	}
+	if w.Len() != 3 {
+		t.Error("len after eviction")
+	}
+}
+
+func TestWindowMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const size = 16
+	w := NewWindow(size)
+	history := make([]float64, 0, 2048)
+	for i := 0; i < 2000; i++ {
+		x := rng.NormFloat64()*100 + 500
+		w.Add(x)
+		history = append(history, x)
+		lo := len(history) - size
+		if lo < 0 {
+			lo = 0
+		}
+		var r Running
+		for _, v := range history[lo:] {
+			r.Add(v)
+		}
+		if math.Abs(w.Mean()-r.Mean()) > 1e-9 {
+			t.Fatalf("step %d: mean %g vs %g", i, w.Mean(), r.Mean())
+		}
+		if math.Abs(w.Variance()-r.Variance()) > 1e-6 {
+			t.Fatalf("step %d: var %g vs %g", i, w.Variance(), r.Variance())
+		}
+		if math.Abs(w.StdDev()-r.StdDev()) > 1e-6 {
+			t.Fatalf("step %d: stddev %g vs %g", i, w.StdDev(), r.StdDev())
+		}
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(5)
+	w.Add(7)
+	w.Reset()
+	if w.Len() != 0 || w.Mean() != 0 || w.Full() {
+		t.Error("reset state")
+	}
+	w.Add(2)
+	if w.Mean() != 2 {
+		t.Error("post-reset add")
+	}
+}
+
+func TestWindowSizeOnePanicsZero(t *testing.T) {
+	w := NewWindow(1)
+	w.Add(3)
+	w.Add(9)
+	if w.Mean() != 9 || w.Variance() != 0 {
+		t.Error("size-1 window")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size 0 must panic")
+		}
+	}()
+	NewWindow(0)
+}

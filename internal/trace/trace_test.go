@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEmitDispatchesToHooks(t *testing.T) {
+	tr := New()
+	var got []Event
+	tr.Register(func(ev Event) { got = append(got, ev) })
+	ev := Event{Point: AddToPageCache, Inode: 7, Offset: 42, Time: time.Second}
+	tr.Emit(ev)
+	if len(got) != 1 || got[0] != ev {
+		t.Fatalf("hook saw %v", got)
+	}
+}
+
+func TestMultipleHooks(t *testing.T) {
+	tr := New()
+	a, b := 0, 0
+	tr.Register(func(Event) { a++ })
+	tr.Register(func(Event) { b++ })
+	tr.Emit(Event{Point: AddToPageCache})
+	if a != 1 || b != 1 {
+		t.Errorf("hooks saw %d/%d", a, b)
+	}
+}
+
+func TestDisabledTracerSkips(t *testing.T) {
+	tr := New()
+	calls := 0
+	tr.Register(func(Event) { calls++ })
+	tr.SetEnabled(false)
+	if tr.Enabled() {
+		t.Error("Enabled() after disable")
+	}
+	tr.Emit(Event{Point: AddToPageCache})
+	if calls != 0 {
+		t.Error("disabled tracer dispatched")
+	}
+	if tr.Count(AddToPageCache) != 0 {
+		t.Error("disabled tracer counted")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	tr := New()
+	tr.Emit(Event{Point: AddToPageCache})
+	tr.Emit(Event{Point: AddToPageCache})
+	tr.Emit(Event{Point: WritebackDirtyPage})
+	if tr.Count(AddToPageCache) != 2 || tr.Count(WritebackDirtyPage) != 1 {
+		t.Error("per-point counts")
+	}
+	if tr.Total() != 3 {
+		t.Errorf("total = %d", tr.Total())
+	}
+	if tr.Count(Point(99)) != 0 {
+		t.Error("unknown point should count 0")
+	}
+}
+
+func TestPointNames(t *testing.T) {
+	if AddToPageCache.String() != "add_to_page_cache" {
+		t.Error(AddToPageCache.String())
+	}
+	if WritebackDirtyPage.String() != "writeback_dirty_page" {
+		t.Error(WritebackDirtyPage.String())
+	}
+	if Point(99).String() != "unknown" {
+		t.Error("unknown point name")
+	}
+}
+
+func TestNilHookPanics(t *testing.T) {
+	tr := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil hook must panic")
+		}
+	}()
+	tr.Register(nil)
+}
+
+func BenchmarkEmitOneHook(b *testing.B) {
+	tr := New()
+	var sink uint64
+	tr.Register(func(ev Event) { sink += ev.Inode })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Point: AddToPageCache, Inode: uint64(i), Offset: int64(i)})
+	}
+	_ = sink
+}
