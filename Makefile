@@ -1,0 +1,34 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build vet kml-vet test race fuzz ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Repo-specific kernel-portability checks (see DESIGN.md).
+kml-vet:
+	$(GO) run ./cmd/kml-vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run every fuzz target briefly. Go's fuzzer allows one -fuzz pattern per
+# package invocation, so targets run sequentially.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) ./internal/nn/
+	$(GO) test -run='^$$' -fuzz=FuzzRingPushPop -fuzztime=$(FUZZTIME) ./internal/ringbuf/
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
+
+ci: build vet race fuzz kml-vet
+
+clean:
+	$(GO) clean ./...

@@ -160,6 +160,8 @@ func NewPipeline[S any](cfg Config, handler Handler[S]) (*Pipeline[S], error) {
 // allocates; a full ring drops the sample (counted in Dropped). Samples
 // collected in ModeOff are still buffered so a mode switch does not lose
 // the window in flight; the handler sees the mode at drain time.
+//
+//kml:hotpath
 func (p *Pipeline[S]) Collect(s S) bool {
 	wasEmpty := p.ring.Len() == 0
 	ok := p.ring.TryPush(s)

@@ -117,6 +117,8 @@ func NewExtractor() *Extractor { return &Extractor{} }
 
 // Add folds one record into the current window. It is O(1) with a handful
 // of float operations — the per-event cost the paper reports as ~49 ns.
+//
+//kml:hotpath
 func (e *Extractor) Add(rec Record) {
 	e.count++
 	if rec.Write {
@@ -216,6 +218,8 @@ func clip(x float64) float64 {
 // ApplyInto standardizes the SELECTED features of raw into dst (a
 // []float64 of length Count), clipping to ±3σ, allocation-free for the
 // inference hot path.
+//
+//kml:hotpath
 func (n Normalizer) ApplyInto(dst []float64, raw Vector) {
 	for i, c := range Selected {
 		dst[i] = clip(n.Z[c].Apply(raw[c]))
@@ -224,6 +228,8 @@ func (n Normalizer) ApplyInto(dst []float64, raw Vector) {
 
 // SelectInto copies the selected features of a normalized vector into dst
 // (length Count) for model input.
+//
+//kml:hotpath
 func SelectInto(dst []float64, normalized Vector) {
 	for i, c := range Selected {
 		dst[i] = normalized[c]

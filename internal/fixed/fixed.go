@@ -10,9 +10,14 @@
 // All operations saturate rather than wrap on overflow, mirroring the
 // "numerical instability" concern the paper raises for narrow fixed-point
 // ranges: saturation keeps a mis-scaled model degraded instead of wild.
+//
+// This file is kernel-portable; the float-facing shims (FromFloat, Float,
+// the e^k table) are the blessed quantization boundary and are marked
+// //kml:boundary. Debug formatting lives in format.go, outside the
+// kernelspace contract.
+//
+//kml:kernelspace
 package fixed
-
-import "strconv"
 
 // Q16 is a signed 32-bit fixed-point number with 16 fractional bits.
 // Its representable range is approximately [-32768, 32767.99998].
@@ -34,6 +39,11 @@ const (
 )
 
 // FromFloat converts a float64 to Q16, rounding to nearest and saturating.
+// It is a user→kernel quantization shim: models are trained in floating
+// point and quantized before deployment, so this never runs in kernel
+// context.
+//
+//kml:boundary
 func FromFloat(f float64) Q16 {
 	scaled := f * float64(One)
 	switch {
@@ -59,7 +69,10 @@ func FromInt(i int) Q16 {
 	return Q16(i) << FracBits
 }
 
-// Float returns the float64 value of q.
+// Float returns the float64 value of q. Like FromFloat it is a boundary
+// shim for accuracy evaluation and debugging in user space.
+//
+//kml:boundary
 func (q Q16) Float() float64 { return float64(q) / float64(One) }
 
 // Int returns q truncated toward zero to an integer.
@@ -68,11 +81,6 @@ func (q Q16) Int() int {
 		return -int(-q >> FracBits)
 	}
 	return int(q >> FracBits)
-}
-
-// String formats q with five decimal places.
-func (q Q16) String() string {
-	return strconv.FormatFloat(q.Float(), 'f', 5, 64)
 }
 
 func sat(v int64) Q16 {
@@ -86,12 +94,18 @@ func sat(v int64) Q16 {
 }
 
 // Add returns q+r with saturation.
+//
+//kml:hotpath
 func (q Q16) Add(r Q16) Q16 { return sat(int64(q) + int64(r)) }
 
 // Sub returns q−r with saturation.
+//
+//kml:hotpath
 func (q Q16) Sub(r Q16) Q16 { return sat(int64(q) - int64(r)) }
 
 // Mul returns q·r with rounding and saturation.
+//
+//kml:hotpath
 func (q Q16) Mul(r Q16) Q16 {
 	p := int64(q) * int64(r)
 	// Round to nearest by adding half an LSB before shifting.
@@ -105,6 +119,8 @@ func (q Q16) Mul(r Q16) Q16 {
 
 // Div returns q/r with rounding and saturation. Division by zero saturates
 // to Max or Min depending on the sign of q (and Max for 0/0).
+//
+//kml:hotpath
 func (q Q16) Div(r Q16) Q16 {
 	if r == 0 {
 		if q < 0 {
@@ -122,6 +138,8 @@ func (q Q16) Div(r Q16) Q16 {
 }
 
 // Neg returns −q with saturation (−Min saturates to Max).
+//
+//kml:hotpath
 func (q Q16) Neg() Q16 {
 	if q == Min {
 		return Max
@@ -130,6 +148,8 @@ func (q Q16) Neg() Q16 {
 }
 
 // Abs returns |q| with saturation.
+//
+//kml:hotpath
 func (q Q16) Abs() Q16 {
 	if q < 0 {
 		return q.Neg()
@@ -139,6 +159,8 @@ func (q Q16) Abs() Q16 {
 
 // Sqrt returns the square root of q (0 for negative inputs) using integer
 // Newton iteration on the Q32.32 radicand.
+//
+//kml:hotpath
 func (q Q16) Sqrt() Q16 {
 	if q <= 0 {
 		return 0
@@ -167,6 +189,10 @@ func bitLen(v uint64) int {
 }
 
 // expTable holds e^k in Q16 for k = 0..10; beyond ~10.4 e^x saturates Q16.
+// The float literals are quantized once at package init — a boundary
+// computation, like loading precomputed constants into a kernel module.
+//
+//kml:boundary
 var expTable = [11]Q16{
 	FromFloat(1.0),
 	FromFloat(2.718281828459045),
@@ -185,6 +211,8 @@ var expTable = [11]Q16{
 // return 0. The fractional part is evaluated with an 8-term Taylor series,
 // accurate to ~1e-4 in relative terms — comparable to the quantization noise
 // of the representation itself.
+//
+//kml:hotpath
 func (q Q16) Exp() Q16 {
 	if q < FromInt(-16) {
 		return 0
@@ -220,6 +248,8 @@ func (q Q16) Exp() Q16 {
 
 // Sigmoid returns the logistic function of q evaluated in fixed point,
 // using the stable tail formulation.
+//
+//kml:hotpath
 func (q Q16) Sigmoid() Q16 {
 	if q >= 0 {
 		z := q.Neg().Exp()
@@ -230,12 +260,16 @@ func (q Q16) Sigmoid() Q16 {
 }
 
 // Tanh returns the hyperbolic tangent of q: 2σ(2q) − 1.
+//
+//kml:hotpath
 func (q Q16) Tanh() Q16 {
 	two := FromInt(2)
 	return two.Mul(q.Mul(two).Sigmoid()).Sub(One)
 }
 
 // ReLU returns max(q, 0).
+//
+//kml:hotpath
 func (q Q16) ReLU() Q16 {
 	if q < 0 {
 		return 0

@@ -1,0 +1,10 @@
+package fixed
+
+import "strconv"
+
+// String formats q with five decimal places. Formatting is a user-space
+// debugging aid, so it lives outside the kernelspace file (strconv and
+// float formatting are not kernel-portable).
+func (q Q16) String() string {
+	return strconv.FormatFloat(q.Float(), 'f', 5, 64)
+}

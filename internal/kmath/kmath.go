@@ -108,6 +108,8 @@ func copySign(x, sign float64) float64 {
 // Exp returns e**x using range reduction (x = k·ln2 + r, |r| ≤ ln2/2)
 // followed by a degree-7 minimax-style Taylor polynomial for e**r and a
 // final scale by 2**k. Relative error is below 1e-14 across the domain.
+//
+//kml:hotpath
 func Exp(x float64) float64 {
 	switch {
 	case math.IsNaN(x):
@@ -151,6 +153,8 @@ func ldexpFast(frac float64, exp int) float64 {
 // Log returns the natural logarithm of x. It decomposes x = m·2**e with
 // m in [sqrt(2)/2, sqrt(2)) and evaluates ln(m) with the atanh series
 // ln(m) = 2·atanh((m−1)/(m+1)), which converges rapidly on that interval.
+//
+//kml:hotpath
 func Log(x float64) float64 {
 	switch {
 	case math.IsNaN(x) || math.IsInf(x, 1):
@@ -255,6 +259,8 @@ func Pow(x, y float64) float64 {
 
 // Sigmoid returns the logistic function 1/(1+e**−x). It is evaluated in a
 // numerically stable form on both tails.
+//
+//kml:hotpath
 func Sigmoid(x float64) float64 {
 	if x >= 0 {
 		z := Exp(-x)
@@ -270,6 +276,8 @@ func SigmoidPrime(s float64) float64 { return s * (1 - s) }
 
 // Tanh returns the hyperbolic tangent of x, expressed through the stable
 // sigmoid: tanh(x) = 2σ(2x) − 1.
+//
+//kml:hotpath
 func Tanh(x float64) float64 {
 	if x > 20 {
 		return 1
@@ -304,6 +312,8 @@ func Erf(x float64) float64 {
 
 // Softmax writes the softmax of src into dst (which may alias src) using the
 // max-subtraction trick for numerical stability, and returns dst.
+//
+//kml:hotpath
 func Softmax(dst, src []float64) []float64 {
 	if len(dst) != len(src) {
 		panic("kmath: Softmax length mismatch")

@@ -1,3 +1,8 @@
+// Write-ahead log. Durability code must never drop an error — a lost
+// append or sync failure silently breaks crash recovery — so this file is
+// under the unchecked-error analyzer.
+//
+//kml:checkerrors
 package kvstore
 
 import (
@@ -70,15 +75,18 @@ func replayWAL(f *vfs.File) ([]walRecord, error) {
 			return nil, fmt.Errorf("%w: kind %d", ErrBadWAL, kind)
 		}
 		data = data[1:]
+		// Compare lengths in uint64: converting a hostile varint to int
+		// first can wrap negative and slip past the bound (then panic at
+		// the slice below).
 		klen, n := binary.Uvarint(data)
-		if n <= 0 || int(klen) > len(data)-n {
+		if n <= 0 || klen > uint64(len(data)-n) {
 			return nil, fmt.Errorf("%w: key length", ErrBadWAL)
 		}
 		data = data[n:]
 		key := append([]byte(nil), data[:klen]...)
 		data = data[klen:]
 		vlen, n := binary.Uvarint(data)
-		if n <= 0 || int(vlen) > len(data)-n {
+		if n <= 0 || vlen > uint64(len(data)-n) {
 			return nil, fmt.Errorf("%w: value length", ErrBadWAL)
 		}
 		data = data[n:]

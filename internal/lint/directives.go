@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Directive comment spellings. Like //go:build they take no space after
+// the slashes, which keeps gofmt from reflowing them.
+const (
+	dirKernelspace = "kml:kernelspace"
+	dirHotpath     = "kml:hotpath"
+	dirBoundary    = "kml:boundary"
+	dirCheckErrors = "kml:checkerrors"
+)
+
+// fileDirectives are the file-level directives of one source file.
+type fileDirectives struct {
+	Kernelspace bool
+	CheckErrors bool
+}
+
+// fileDirectivesOf scans the comment groups preceding the package clause
+// (including the package doc comment) for file-level directives.
+func fileDirectivesOf(f *ast.File) fileDirectives {
+	var d fileDirectives
+	for _, group := range f.Comments {
+		if group.End() > f.Package {
+			break
+		}
+		for _, c := range group.List {
+			switch {
+			case hasDirective(c.Text, dirKernelspace):
+				d.Kernelspace = true
+			case hasDirective(c.Text, dirCheckErrors):
+				d.CheckErrors = true
+			}
+		}
+	}
+	return d
+}
+
+// declDirective reports whether the declaration's doc comment carries the
+// given directive.
+func declDirective(doc *ast.CommentGroup, dir string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if hasDirective(c.Text, dir) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHotpath reports whether fn is annotated //kml:hotpath.
+func isHotpath(fn *ast.FuncDecl) bool { return declDirective(fn.Doc, dirHotpath) }
+
+// isBoundary reports whether the declaration is an explicitly blessed
+// user↔kernel boundary shim (exempt from the no-float rule).
+func isBoundary(doc *ast.CommentGroup) bool { return declDirective(doc, dirBoundary) }
+
+func hasDirective(comment, dir string) bool {
+	text, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return false
+	}
+	text = strings.TrimSpace(text)
+	return text == dir || strings.HasPrefix(text, dir+" ")
+}
+
+// kernelspaceFiles returns the indices of pkg's kernelspace files.
+func kernelspaceFiles(pkg *Package) []int {
+	var out []int
+	for i, f := range pkg.Files {
+		if fileDirectivesOf(f).Kernelspace {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// hasKernelspaceFile reports whether any file of pkg is kernelspace.
+func hasKernelspaceFile(pkg *Package) bool { return len(kernelspaceFiles(pkg)) > 0 }

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// ErrCheck reports discarded error results in files annotated
+// //kml:checkerrors — the persistence code (the model serializer that
+// implements the paper's "KML-specific file format" and the key-value
+// store's write-ahead log) where a dropped error silently corrupts state.
+//
+// A call statement whose result set contains an error is a violation.
+// Explicit discards (`_ = f()`) and `defer f()` cleanup calls are allowed:
+// both are visible, deliberate decisions in the source.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "error results must not be silently discarded in //kml:checkerrors files",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		if !fileDirectivesOf(file).CheckErrors {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if returnsError(pass.Pkg.Info, call) {
+				pass.Reportf(call.Pos(), "result of %s contains an error that is silently discarded",
+					renderExpr(pass, call.Fun))
+			}
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call yields an error (alone or as part
+// of a result tuple).
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func renderExpr(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Mod.Fset, e); err != nil {
+		return "call"
+	}
+	return buf.String()
+}

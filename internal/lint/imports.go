@@ -1,0 +1,95 @@
+package lint
+
+import "strings"
+
+// kernelAllowedStd is the allowlist of standard-library imports permitted
+// in kernelspace files. Everything else — fmt, os, time, math/rand, and
+// the rest of libc-shaped stdlib — has no kernel analogue on the data
+// path and is reported. The list is intentionally tiny: sync/atomic maps
+// to kernel atomics, math/bits and unsafe to plain CPU ops, and errors
+// only to sentinel values (errors.New at init time).
+var kernelAllowedStd = map[string]bool{
+	"sync/atomic": true,
+	"math/bits":   true,
+	"unsafe":      true,
+	"errors":      true,
+}
+
+// Imports enforces the kernelspace import policy: a kernelspace file may
+// import only allowlisted stdlib packages and module packages that
+// themselves contain kernelspace code. Violations that arrive through an
+// intermediate module package are reported with the full import chain.
+var Imports = &Analyzer{
+	Name: "imports",
+	Doc:  "kernelspace files may import only allowlisted stdlib and kernelspace module packages",
+	Run:  runImports,
+}
+
+func runImports(pass *Pass) {
+	for _, fi := range kernelspaceFiles(pass.Pkg) {
+		file := pass.Pkg.Files[fi]
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			switch {
+			case pass.Mod.Internal(path):
+				dep := pass.Mod.Lookup(path)
+				if dep == nil {
+					pass.Reportf(imp.Pos(), "kernelspace file imports unknown module package %s", path)
+					continue
+				}
+				if !hasKernelspaceFile(dep) {
+					pass.Reportf(imp.Pos(), "kernelspace file imports %s, which has no //kml:kernelspace code", path)
+					continue
+				}
+				// Walk the kernelspace slice of the module for transitive
+				// violations, so the report names the whole chain.
+				for _, chain := range forbiddenChains(pass.Mod, dep, map[string]bool{pass.Pkg.ImportPath: true}) {
+					pass.Reportf(imp.Pos(), "kernelspace import chain reaches forbidden package: %s -> %s",
+						pass.Pkg.ImportPath, strings.Join(chain, " -> "))
+				}
+			case !kernelAllowedStd[path]:
+				pass.Reportf(imp.Pos(), "kernelspace file imports forbidden package %s (allowed: %s)",
+					path, strings.Join(allowedList(), ", "))
+			}
+		}
+	}
+}
+
+// forbiddenChains returns import chains (as package-path lists starting at
+// pkg) through kernelspace files that reach a non-allowlisted stdlib
+// package.
+func forbiddenChains(mod *Module, pkg *Package, visited map[string]bool) [][]string {
+	if visited[pkg.ImportPath] {
+		return nil
+	}
+	visited[pkg.ImportPath] = true
+	var chains [][]string
+	for _, fi := range kernelspaceFiles(pkg) {
+		for _, path := range fileImports(pkg.Files[fi]) {
+			switch {
+			case mod.Internal(path):
+				dep := mod.Lookup(path)
+				if dep == nil || !hasKernelspaceFile(dep) {
+					chains = append(chains, []string{pkg.ImportPath, path})
+					continue
+				}
+				for _, sub := range forbiddenChains(mod, dep, visited) {
+					chains = append(chains, append([]string{pkg.ImportPath}, sub...))
+				}
+			case !kernelAllowedStd[path]:
+				chains = append(chains, []string{pkg.ImportPath, path})
+			}
+		}
+	}
+	return chains
+}
+
+func allowedList() []string {
+	out := make([]string, 0, len(kernelAllowedStd))
+	for _, p := range []string{"errors", "math/bits", "sync/atomic", "unsafe"} {
+		if kernelAllowedStd[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The testdata module plants one violation per rule; each violating line
+// carries a `want:<analyzer>` marker. The test checks both directions:
+// every diagnostic lands on a marked line of the right analyzer, and
+// every marker is hit by at least one diagnostic — so false positives and
+// false negatives both fail.
+func TestAnalyzersOnPlantedViolations(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading testdata module: %v", err)
+	}
+	wants := collectWants(t, mod)
+	diags := Check(mod)
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics on planted violations")
+	}
+
+	hit := make(map[string]bool)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Analyzer)
+		if !wants[key] {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		hit[key] = true
+	}
+	var missed []string
+	for key := range wants {
+		if !hit[key] {
+			missed = append(missed, key)
+		}
+	}
+	sort.Strings(missed)
+	for _, key := range missed {
+		t.Errorf("planted violation not reported: %s", key)
+	}
+}
+
+// TestChainReportNamesFullPath pins the transitive-import diagnostic shape:
+// the report at chain's import must spell out chain -> inner -> os.
+func TestChainReportNamesFullPath(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading testdata module: %v", err)
+	}
+	found := false
+	for _, d := range Check(mod) {
+		if d.Analyzer == "imports" && strings.Contains(d.Message, "planted/chain -> planted/chain/inner -> os") {
+			found = true
+			if base := filepath.Base(d.Pos.Filename); base != "chain.go" {
+				t.Errorf("chain diagnostic reported in %s, want chain.go", base)
+			}
+		}
+	}
+	if !found {
+		t.Error("no imports diagnostic names the full chain planted/chain -> planted/chain/inner -> os")
+	}
+}
+
+// TestDiagnosticHasPosition guards the file:line contract of every report.
+func TestDiagnosticHasPosition(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading testdata module: %v", err)
+	}
+	for _, d := range Check(mod) {
+		if d.Pos.Filename == "" || d.Pos.Line == 0 {
+			t.Errorf("diagnostic without position: %s", d)
+		}
+		if !strings.Contains(d.String(), fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)) {
+			t.Errorf("String() does not render file:line: %s", d)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`want:([a-z]+)`)
+
+// collectWants scans the fixture sources for want:<analyzer> markers and
+// returns the set of "file:line:analyzer" keys they declare.
+func collectWants(t *testing.T, mod *Module) map[string]bool {
+	t.Helper()
+	wants := make(map[string]bool)
+	for _, pkg := range mod.Pkgs {
+		for _, name := range pkg.Filenames {
+			f, err := os.Open(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := bufio.NewScanner(f)
+			for line := 1; sc.Scan(); line++ {
+				for _, m := range wantRE.FindAllStringSubmatch(sc.Text(), -1) {
+					wants[fmt.Sprintf("%s:%d:%s", name, line, m[1])] = true
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatal("no want: markers found in testdata")
+	}
+	return wants
+}

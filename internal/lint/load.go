@@ -1,0 +1,267 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a parsed and type-checked Go module.
+type Module struct {
+	Path   string // module path from go.mod
+	Dir    string // absolute module root
+	Fset   *token.FileSet
+	Pkgs   []*Package // dependency (topological) order
+	byPath map[string]*Package
+}
+
+// Package is one type-checked package of the module.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Files      []*ast.File
+	Filenames  []string // parallel to Files
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Lookup returns the module package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// Internal reports whether path names a package inside the module.
+func (m *Module) Internal(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// LoadModule parses and type-checks the module rooted at (or above) dir.
+// Test files and testdata/vendor trees are excluded: the analyzers govern
+// shippable code, and tests legitimately allocate and use floats.
+func LoadModule(dir string) (*Module, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Path:   modPath,
+		Dir:    root,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+	if err := mod.parseTree(); err != nil {
+		return nil, err
+	}
+	if err := mod.typeCheck(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// findModule walks upward from dir to the nearest go.mod.
+func findModule(dir string) (root, modPath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// parseTree walks the module and parses every non-test package.
+func (m *Module) parseTree() error {
+	return filepath.WalkDir(m.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != m.Dir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		// A nested module is a separate universe (e.g. analyzer fixtures).
+		if path != m.Dir {
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		return m.parseDir(path)
+	})
+}
+
+func (m *Module) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	pkg := &Package{Dir: dir, ImportPath: m.importPath(dir)}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: %v", err)
+		}
+		if pkg.Name == "" {
+			pkg.Name = f.Name.Name
+		} else if pkg.Name != f.Name.Name {
+			return fmt.Errorf("lint: %s: package %s and %s in one directory", dir, pkg.Name, f.Name.Name)
+		}
+		pkg.Files = append(pkg.Files, f)
+		pkg.Filenames = append(pkg.Filenames, full)
+	}
+	if len(pkg.Files) == 0 {
+		return nil
+	}
+	m.Pkgs = append(m.Pkgs, pkg)
+	m.byPath[pkg.ImportPath] = pkg
+	return nil
+}
+
+func (m *Module) importPath(dir string) string {
+	rel, err := filepath.Rel(m.Dir, dir)
+	if err != nil || rel == "." {
+		return m.Path
+	}
+	return m.Path + "/" + filepath.ToSlash(rel)
+}
+
+// fileImports returns the import paths declared in f.
+func fileImports(f *ast.File) []string {
+	var out []string
+	for _, imp := range f.Imports {
+		out = append(out, strings.Trim(imp.Path.Value, `"`))
+	}
+	return out
+}
+
+// typeCheck orders the packages by intra-module dependencies and checks
+// each one. Standard-library imports are type-checked from source via the
+// stdlib "source" importer, so no compiler export data is required.
+func (m *Module) typeCheck() error {
+	order, err := m.topoSort()
+	if err != nil {
+		return err
+	}
+	m.Pkgs = order
+	imp := &moduleImporter{
+		mod: m,
+		std: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, pkg := range m.Pkgs {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(pkg.ImportPath, m.Fset, pkg.Files, info)
+		if err != nil {
+			return fmt.Errorf("lint: type-checking %s: %v", pkg.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		pkg.Info = info
+	}
+	return nil
+}
+
+// topoSort orders packages so every intra-module import is checked before
+// its importer.
+func (m *Module) topoSort() ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[*Package]int)
+	var order []*Package
+	var visit func(p *Package, chain []string) error
+	visit = func(p *Package, chain []string) error {
+		switch state[p] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(chain, p.ImportPath), " -> "))
+		}
+		state[p] = visiting
+		deps := make(map[string]bool)
+		for _, f := range p.Files {
+			for _, path := range fileImports(f) {
+				if m.Internal(path) && m.byPath[path] != nil {
+					deps[path] = true
+				}
+			}
+		}
+		sorted := make([]string, 0, len(deps))
+		for d := range deps {
+			sorted = append(sorted, d)
+		}
+		sort.Strings(sorted)
+		for _, d := range sorted {
+			if err := visit(m.byPath[d], append(chain, p.ImportPath)); err != nil {
+				return err
+			}
+		}
+		state[p] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range m.Pkgs {
+		if err := visit(p, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImporter resolves intra-module imports from the already-checked
+// set and everything else through the source importer.
+type moduleImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mi.mod.Internal(path) {
+		p := mi.mod.byPath[path]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("lint: package %s not loaded", path)
+		}
+		return p.Types, nil
+	}
+	return mi.std.Import(path)
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockFree enforces the locking discipline of kernelspace files: the
+// producer side of the data path "must never block, never allocate, and
+// never take a lock" (internal/ringbuf contract; §3.1's circular buffer is
+// lock-free for the same reason). Kernelspace files may import sync/atomic
+// but not sync, and may not use channels, selects, or go statements —
+// goroutines and channel synchronization have no kernel analogue on the
+// collection path.
+var LockFree = &Analyzer{
+	Name: "lockfree",
+	Doc:  "kernelspace files must stay lock-free (sync/atomic only, no channels or goroutines)",
+	Run:  runLockFree,
+}
+
+func runLockFree(pass *Pass) {
+	for _, fi := range kernelspaceFiles(pass.Pkg) {
+		file := pass.Pkg.Files[fi]
+		for _, imp := range file.Imports {
+			if imp.Path.Value == `"sync"` {
+				pass.Reportf(imp.Pos(), "kernelspace file imports sync; only sync/atomic is lock-free-safe")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(node.Pos(), "channel send in kernelspace file")
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					pass.Reportf(node.Pos(), "channel receive in kernelspace file")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(node.Pos(), "select statement in kernelspace file")
+			case *ast.GoStmt:
+				pass.Reportf(node.Pos(), "go statement in kernelspace file")
+			case *ast.ChanType:
+				pass.Reportf(node.Pos(), "channel type in kernelspace file")
+			case *ast.RangeStmt:
+				if t := typeOf(pass.Pkg.Info, node.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(node.Pos(), "range over channel in kernelspace file")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc enforces the //kml:hotpath contract: functions that run inline
+// on the I/O path (a tracepoint hook costs ~49 ns in the paper) must not
+// heap-allocate or register deferred work. It reports make/new/append,
+// closures, defer, go statements, escaping composite literals, and
+// implicit interface conversions (each boxes its operand on the heap).
+//
+// Arguments to panic are exempt: panicking is the cold misuse path, not
+// steady-state operation. The check is intraprocedural — calls into other
+// functions are governed by their own annotations.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//kml:hotpath functions may not allocate",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkNoAlloc(pass, fn)
+		}
+	}
+}
+
+func checkNoAlloc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	results := funcResults(info, fn)
+	var walk func(n ast.Node, parent ast.Node)
+	walk = func(n ast.Node, parent ast.Node) {
+		if n == nil {
+			return
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := builtinName(info, node.Fun); ok {
+				switch name {
+				case "make", "new", "append":
+					pass.Reportf(node.Pos(), "hot path %s calls %s (heap allocation)", fn.Name.Name, name)
+				case "panic":
+					// Cold failure path: don't descend into the argument,
+					// whose conversion to any is deliberate.
+					return
+				}
+			}
+			checkCallConversions(pass, fn, info, node)
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "hot path %s creates a closure (heap allocation)", fn.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(node.Pos(), "hot path %s uses defer (deferred-call record allocation)", fn.Name.Name)
+		case *ast.GoStmt:
+			pass.Reportf(node.Pos(), "hot path %s spawns a goroutine", fn.Name.Name)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, fn, info, node, parent)
+		case *ast.AssignStmt:
+			for i, rhs := range node.Rhs {
+				if i < len(node.Lhs) {
+					checkConversionTo(pass, fn, info, typeOf(info, node.Lhs[i]), rhs, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(node.Results) == results.Len() {
+				for i, res := range node.Results {
+					checkConversionTo(pass, fn, info, results.At(i).Type(), res, "return")
+				}
+			}
+		}
+		// Manual descent so every node knows its parent (needed by the
+		// composite-literal escape heuristic).
+		for _, child := range childNodes(n) {
+			walk(child, n)
+		}
+	}
+	walk(fn.Body, fn)
+}
+
+// checkCompositeLit applies the escape heuristic: map and slice literals
+// always allocate their backing store; struct and array literals allocate
+// only when they escape — address taken, passed to a call, or returned.
+// A plain local `v := T{...}` stays on the stack and is allowed.
+func checkCompositeLit(pass *Pass, fn *ast.FuncDecl, info *types.Info, lit *ast.CompositeLit, parent ast.Node) {
+	t := typeOf(info, lit)
+	if t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice:
+			pass.Reportf(lit.Pos(), "hot path %s builds a slice literal (heap-allocated backing array)", fn.Name.Name)
+			return
+		case *types.Map:
+			pass.Reportf(lit.Pos(), "hot path %s builds a map literal (heap allocation)", fn.Name.Name)
+			return
+		}
+	}
+	switch p := parent.(type) {
+	case *ast.UnaryExpr:
+		pass.Reportf(lit.Pos(), "hot path %s takes the address of a composite literal (escapes to heap)", fn.Name.Name)
+	case *ast.CallExpr:
+		for _, arg := range p.Args {
+			if arg == ast.Expr(lit) {
+				pass.Reportf(lit.Pos(), "hot path %s passes a composite literal to a call (may escape)", fn.Name.Name)
+			}
+		}
+	case *ast.ReturnStmt:
+		pass.Reportf(lit.Pos(), "hot path %s returns a composite literal (may escape)", fn.Name.Name)
+	}
+}
+
+// checkCallConversions reports concrete arguments bound to interface
+// parameters — an implicit boxing allocation.
+func checkCallConversions(pass *Pass, fn *ast.FuncDecl, info *types.Info, call *ast.CallExpr) {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 {
+			checkConversionTo(pass, fn, info, tv.Type, call.Args[0], "conversion")
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkConversionTo(pass, fn, info, pt, arg, "argument")
+	}
+}
+
+// checkConversionTo reports expr being converted to an interface type.
+func checkConversionTo(pass *Pass, fn *ast.FuncDecl, info *types.Info, to types.Type, expr ast.Expr, context string) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	from := typeOf(info, expr)
+	if from == nil || types.IsInterface(from) {
+		return
+	}
+	if b, ok := from.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	pass.Reportf(expr.Pos(), "hot path %s converts %s to interface %s in %s (boxing allocation)",
+		fn.Name.Name, types.TypeString(from, nil), types.TypeString(to, nil), context)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func builtinName(info *types.Info, fun ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if obj, ok := info.Uses[id]; ok {
+		if _, ok := obj.(*types.Builtin); ok {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+func funcResults(info *types.Info, fn *ast.FuncDecl) *types.Tuple {
+	obj, ok := info.Defs[fn.Name]
+	if !ok {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig.Results()
+}
+
+// childNodes returns the direct children of n in source order.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoFloat forbids floating-point types, literals, and conversions in
+// kernelspace files. Kernel code cannot assume FPU availability (§3.1:
+// fixed-point exists precisely because "operations on fixed-point
+// representations ... do not require an FP unit"), so every float that
+// sneaks into a kernelspace file is a latent kernel oops. Declarations
+// annotated //kml:boundary — the blessed quantization shims in
+// internal/fixed — are exempt.
+var NoFloat = &Analyzer{
+	Name: "nofloat",
+	Doc:  "kernelspace files may not use floating-point types or literals",
+	Run:  runNoFloat,
+}
+
+func runNoFloat(pass *Pass) {
+	for _, fi := range kernelspaceFiles(pass.Pkg) {
+		file := pass.Pkg.Files[fi]
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if isBoundary(d.Doc) {
+					continue
+				}
+			case *ast.GenDecl:
+				if isBoundary(d.Doc) {
+					continue
+				}
+			}
+			checkNoFloat(pass, decl)
+		}
+	}
+}
+
+func checkNoFloat(pass *Pass, decl ast.Decl) {
+	info := pass.Pkg.Info
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BasicLit:
+			if node.Kind == token.FLOAT {
+				pass.Reportf(node.Pos(), "float literal %s in kernelspace file", node.Value)
+			}
+		case *ast.Ident:
+			// Any mention of a float type: declarations, signatures,
+			// struct fields, conversions, generic instantiations.
+			if obj, ok := info.Uses[node]; ok {
+				if tn, ok := obj.(*types.TypeName); ok && containsFloat(tn.Type()) {
+					pass.Reportf(node.Pos(), "use of floating-point type %s in kernelspace file", node.Name)
+				}
+			}
+		case *ast.AssignStmt:
+			// x := f() where f yields a float but no float identifier
+			// appears (the type is inferred).
+			if node.Tok != token.DEFINE {
+				return true
+			}
+			for _, rhs := range node.Rhs {
+				if tv, ok := info.Types[rhs]; ok && tv.Type != nil && containsFloat(tv.Type) {
+					pass.Reportf(rhs.Pos(), "floating-point value inferred in kernelspace file")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// containsFloat reports whether t embeds a floating-point (or complex)
+// component anywhere in its structure.
+func containsFloat(t types.Type) bool {
+	return typeHasFloat(t, make(map[types.Type]bool))
+}
+
+func typeHasFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Float32, types.Float64, types.Complex64, types.Complex128,
+			types.UntypedFloat, types.UntypedComplex:
+			return true
+		}
+	case *types.Array:
+		return typeHasFloat(u.Elem(), seen)
+	case *types.Slice:
+		return typeHasFloat(u.Elem(), seen)
+	case *types.Pointer:
+		return typeHasFloat(u.Elem(), seen)
+	case *types.Map:
+		return typeHasFloat(u.Key(), seen) || typeHasFloat(u.Elem(), seen)
+	case *types.Chan:
+		return typeHasFloat(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Signature:
+		return tupleHasFloat(u.Params(), seen) || tupleHasFloat(u.Results(), seen)
+	}
+	return false
+}
+
+func tupleHasFloat(tup *types.Tuple, seen map[types.Type]bool) bool {
+	for i := 0; i < tup.Len(); i++ {
+		if typeHasFloat(tup.At(i).Type(), seen) {
+			return true
+		}
+	}
+	return false
+}

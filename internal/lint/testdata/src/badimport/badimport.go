@@ -1,0 +1,16 @@
+// Package badimport plants forbidden-import violations: fmt in a
+// kernelspace file, plus an import of a non-kernelspace module package.
+//
+//kml:kernelspace
+package badimport
+
+import (
+	"fmt" // want:imports
+
+	"planted/clean" // want:imports
+)
+
+// Report formats, which kernel code cannot do.
+func Report(n int) string {
+	return fmt.Sprintf("%d:%d", n, clean.Id(n))
+}

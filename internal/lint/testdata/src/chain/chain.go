@@ -1,0 +1,11 @@
+// Package chain is kernelspace and imports another kernelspace package
+// (legal) whose own kernelspace file smuggles in a forbidden import — the
+// violation must be reported with the full import chain.
+//
+//kml:kernelspace
+package chain
+
+import "planted/chain/inner" // want:imports
+
+// Sum chains into the tainted package.
+func Sum(a, b int) int { return inner.Add(a, b) }

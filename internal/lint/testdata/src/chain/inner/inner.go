@@ -1,0 +1,14 @@
+// Package inner is kernelspace but imports a forbidden stdlib package.
+//
+//kml:kernelspace
+package inner
+
+import "os" // want:imports
+
+// Add adds, and incidentally drags in os.
+func Add(a, b int) int {
+	if os.Getpid() < 0 {
+		return 0
+	}
+	return a + b
+}

@@ -1,0 +1,26 @@
+// Package errdrop plants unchecked-error violations in a persistence-like
+// file.
+//
+//kml:checkerrors
+package errdrop
+
+import "errors"
+
+// ErrBoom is a sentinel.
+var ErrBoom = errors.New("boom")
+
+func save() error         { return ErrBoom }
+func saveN() (int, error) { return 0, ErrBoom }
+func log(string)          {}
+
+// Flush discards errors in two shapes.
+func Flush() {
+	save()  // want:errcheck
+	saveN() // want:errcheck
+	log("ok")
+	_ = save()   // explicit discard: allowed
+	defer save() // cleanup defer: allowed
+	if err := save(); err != nil {
+		log(err.Error())
+	}
+}

@@ -1,0 +1,3 @@
+module planted
+
+go 1.22

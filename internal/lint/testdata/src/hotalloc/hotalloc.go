@@ -1,0 +1,22 @@
+// Package hotalloc plants no-alloc violations in //kml:hotpath functions.
+package hotalloc
+
+// Sink receives boxed values.
+func Sink(v any) {}
+
+// Push is a hot-path function that allocates in several ways.
+//
+//kml:hotpath
+func Push(dst []int, v int) []int {
+	dst = append(dst, v)         // want:noalloc
+	s := []int{v}                // want:noalloc
+	f := func() int { return v } // want:noalloc
+	defer f()                    // want:noalloc
+	Sink(v)                      // want:noalloc
+	return append(dst, s...)     // want:noalloc
+}
+
+// Cold does the same things without the directive: no reports.
+func Cold(dst []int, v int) []int {
+	return append(dst, v)
+}

@@ -1,0 +1,16 @@
+// Package kernelfloat plants no-float violations: a float op in a
+// kernelspace package.
+//
+//kml:kernelspace
+package kernelfloat
+
+// Scale multiplies in floating point, which a kernelspace file may not do.
+func Scale(x int) float64 { // want:nofloat
+	f := float64(x) // want:nofloat
+	return f * 1.5  // want:nofloat
+}
+
+// Blessed is exempt: an explicitly marked boundary shim.
+//
+//kml:boundary
+func Blessed(x int) float64 { return float64(x) }

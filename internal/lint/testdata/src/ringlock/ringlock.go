@@ -1,0 +1,24 @@
+// Package ringlock plants lock-freedom violations: a mutex and channel
+// operations in a kernelspace (ringbuf-shaped) package.
+//
+//kml:kernelspace
+package ringlock
+
+import "sync" // want:imports want:lockfree
+
+// Ring pretends to be a locked ring buffer.
+type Ring struct {
+	mu   sync.Mutex
+	wake chan struct{} // want:lockfree
+}
+
+// Push takes a lock and signals a channel — both forbidden in kernelspace.
+func (r *Ring) Push() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want:lockfree
+	case r.wake <- struct{}{}: // want:lockfree
+	default:
+	}
+	go func() {}() // want:lockfree
+}

@@ -341,115 +341,22 @@ func (m *Dense[T]) String() string {
 	return s + "]"
 }
 
-// Fixed is a row-major dense matrix of Q16.16 fixed-point values, used for
-// integer-only inference. Multiplication accumulates in int64 and shifts
-// once per dot product, which preserves far more precision than per-term
-// rounding.
-type Fixed struct {
-	rows, cols int
-	data       []fixed.Q16
-}
-
-// NewFixed returns a zeroed rows×cols fixed-point matrix.
-func NewFixed(rows, cols int) *Fixed {
-	return &Fixed{rows: rows, cols: cols, data: make([]fixed.Q16, rows*cols)}
-}
-
-// FixedFrom quantizes a float matrix to Q16.16.
+// FixedFrom quantizes a float matrix to Q16.16. It is a user→kernel
+// boundary conversion: quantization happens at deployment time, so it
+// lives here rather than in the kernelspace fixedmat.go.
 func FixedFrom[T Float](m *Dense[T]) *Fixed {
 	f := NewFixed(m.rows, m.cols)
+	data := f.Data()
 	for i, v := range m.data {
-		f.data[i] = fixed.FromFloat(float64(v))
+		data[i] = fixed.FromFloat(float64(v))
 	}
 	return f
 }
 
-// Rows returns the number of rows.
-func (f *Fixed) Rows() int { return f.rows }
-
-// Cols returns the number of columns.
-func (f *Fixed) Cols() int { return f.cols }
-
-// At returns the element at row i, column j.
-func (f *Fixed) At(i, j int) fixed.Q16 { return f.data[i*f.cols+j] }
-
-// Set stores v at row i, column j.
-func (f *Fixed) Set(i, j int, v fixed.Q16) { f.data[i*f.cols+j] = v }
-
-// Data returns the backing slice in row-major order.
-func (f *Fixed) Data() []fixed.Q16 { return f.data }
-
-// Row returns a view of row i.
-func (f *Fixed) Row(i int) []fixed.Q16 { return f.data[i*f.cols : (i+1)*f.cols] }
-
-// MulFixedInto computes dst = a·b in fixed point with int64 accumulation.
-func MulFixedInto(dst, a, b *Fixed) {
-	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols {
-		panic("matrix: MulFixedInto shape mismatch")
-	}
-	for i := 0; i < a.rows; i++ {
-		arow := a.data[i*a.cols : (i+1)*a.cols]
-		drow := dst.data[i*dst.cols : (i+1)*dst.cols]
-		for j := 0; j < b.cols; j++ {
-			var acc int64
-			for k, av := range arow {
-				acc += int64(av) * int64(b.data[k*b.cols+j])
-			}
-			// One rounding shift for the whole dot product.
-			if acc >= 0 {
-				acc += 1 << (fixed.FracBits - 1)
-			} else {
-				acc -= 1 << (fixed.FracBits - 1)
-			}
-			acc >>= fixed.FracBits
-			switch {
-			case acc > int64(fixed.Max):
-				drow[j] = fixed.Max
-			case acc < int64(fixed.Min):
-				drow[j] = fixed.Min
-			default:
-				drow[j] = fixed.Q16(acc)
-			}
-		}
-	}
-}
-
-// AddRowVec adds the 1×cols vector v to every row of f in place.
-func (f *Fixed) AddRowVec(v *Fixed) {
-	if v.rows != 1 || v.cols != f.cols {
-		panic("matrix: Fixed.AddRowVec needs a 1xCols vector")
-	}
-	for i := 0; i < f.rows; i++ {
-		row := f.Row(i)
-		for j := range row {
-			row[j] = row[j].Add(v.data[j])
-		}
-	}
-}
-
-// Apply sets every element to fn(element) in place.
-func (f *Fixed) Apply(fn func(fixed.Q16) fixed.Q16) {
-	for i := range f.data {
-		f.data[i] = fn(f.data[i])
-	}
-}
-
-// ArgMaxRow returns the column index of the largest element in row i.
-func (f *Fixed) ArgMaxRow(i int) int {
-	row := f.Row(i)
-	best := 0
-	for j := 1; j < len(row); j++ {
-		if row[j] > row[best] {
-			best = j
-		}
-	}
-	return best
-}
-
 // Float converts f back to a float64 matrix (for accuracy comparisons).
 func (f *Fixed) Float() *Dense[float64] {
-	m := New[float64](f.rows, f.cols)
-	for i, v := range f.data {
+	m := New[float64](f.Rows(), f.Cols())
+	for i, v := range f.Data() {
 		m.data[i] = v.Float()
 	}
 	return m

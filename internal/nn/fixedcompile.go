@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/fixed"
+	"repro/internal/matrix"
+)
+
+// CompileFixed quantizes a trained network to Q16.16. A trailing Softmax is
+// compiled to the identity: softmax is strictly monotone per row, so the
+// argmax classification decision is unchanged and the exp evaluations are
+// saved — a standard integer-inference simplification.
+func CompileFixed(n *Network) (*FixedNetwork, error) {
+	fn := &FixedNetwork{inDim: n.InDim()}
+	for _, l := range n.layers {
+		switch t := l.(type) {
+		case *Linear:
+			op := fixedOp{
+				kind: kindLinear,
+				w:    matrix.FixedFrom(t.w),
+				b:    matrix.FixedFrom(t.b),
+				out:  matrix.NewFixed(1, t.out),
+			}
+			fn.ops = append(fn.ops, op)
+		case *Softmax:
+			// Identity under argmax; skip.
+		case *activation:
+			var kind uint8
+			switch t.name {
+			case "sigmoid":
+				kind = kindSigmoid
+			case "relu":
+				kind = kindReLU
+			case "tanh":
+				kind = kindTanh
+			default:
+				return nil, fmt.Errorf("nn: cannot compile activation %q to fixed point", t.name)
+			}
+			fn.ops = append(fn.ops, fixedOp{kind: kind})
+		default:
+			return nil, fmt.Errorf("nn: cannot compile layer %q to fixed point", l.Name())
+		}
+	}
+	if len(fn.ops) == 0 {
+		return nil, fmt.Errorf("nn: nothing to compile")
+	}
+	fn.inBuf = matrix.NewFixed(1, fn.inDim)
+	return fn, nil
+}
+
+// Predict quantizes float features and returns the argmax output index.
+// It is the user↔kernel boundary of the fixed network: quantizing float
+// inputs belongs on the user-space side, so it lives here rather than in
+// the kernelspace fixednet.go.
+func (fn *FixedNetwork) Predict(features []float64) int {
+	buf := fn.inBuf.Row(0)
+	if len(features) != len(buf) {
+		panic(fmt.Sprintf("nn: fixed predict got %d features, want %d", len(features), len(buf)))
+	}
+	for i, f := range features {
+		buf[i] = fixed.FromFloat(f)
+	}
+	return fn.PredictQ(buf)
+}

@@ -1,18 +1,18 @@
+// Fixed-point inference core. This file is the part of the nn package
+// that executes in FPU-less (kernel) contexts, so it carries the
+// kernelspace contract: integer arithmetic only, no allocation on the
+// inference path, no forbidden imports. Quantization and compilation from
+// the float network live in fixedcompile.go on the user-space side.
+//
+//kml:kernelspace
 package nn
 
 import (
-	"fmt"
-
 	"repro/internal/fixed"
 	"repro/internal/matrix"
 )
 
-// FixedNetwork is a network compiled to Q16.16 fixed-point arithmetic for
-// inference in FPU-less contexts (§3.1: "Another way to perform FP
-// operations in a kernel is to use a fixed-point representation"). It is
-// inference-only: training always happens in floating point, then the model
-// is quantized — the same train-in-user-space / deploy-in-kernel split the
-// paper's readahead model uses.
+// fixedOp is one compiled layer of a FixedNetwork.
 type fixedOp struct {
 	kind uint8
 	w    *matrix.Fixed // linear only
@@ -20,53 +20,16 @@ type fixedOp struct {
 	out  *matrix.Fixed // 1×out scratch, single-sample inference
 }
 
-// FixedNetwork executes a quantized chain network without floating point.
+// FixedNetwork is a network compiled to Q16.16 fixed-point arithmetic for
+// inference in FPU-less contexts (§3.1: "Another way to perform FP
+// operations in a kernel is to use a fixed-point representation"). It is
+// inference-only: training always happens in floating point, then the model
+// is quantized — the same train-in-user-space / deploy-in-kernel split the
+// paper's readahead model uses.
 type FixedNetwork struct {
 	ops   []fixedOp
 	inDim int
 	inBuf *matrix.Fixed
-}
-
-// CompileFixed quantizes a trained network to Q16.16. A trailing Softmax is
-// compiled to the identity: softmax is strictly monotone per row, so the
-// argmax classification decision is unchanged and the exp evaluations are
-// saved — a standard integer-inference simplification.
-func CompileFixed(n *Network) (*FixedNetwork, error) {
-	fn := &FixedNetwork{inDim: n.InDim()}
-	for _, l := range n.layers {
-		switch t := l.(type) {
-		case *Linear:
-			op := fixedOp{
-				kind: kindLinear,
-				w:    matrix.FixedFrom(t.w),
-				b:    matrix.FixedFrom(t.b),
-				out:  matrix.NewFixed(1, t.out),
-			}
-			fn.ops = append(fn.ops, op)
-		case *Softmax:
-			// Identity under argmax; skip.
-		case *activation:
-			var kind uint8
-			switch t.name {
-			case "sigmoid":
-				kind = kindSigmoid
-			case "relu":
-				kind = kindReLU
-			case "tanh":
-				kind = kindTanh
-			default:
-				return nil, fmt.Errorf("nn: cannot compile activation %q to fixed point", t.name)
-			}
-			fn.ops = append(fn.ops, fixedOp{kind: kind})
-		default:
-			return nil, fmt.Errorf("nn: cannot compile layer %q to fixed point", l.Name())
-		}
-	}
-	if len(fn.ops) == 0 {
-		return nil, fmt.Errorf("nn: nothing to compile")
-	}
-	fn.inBuf = matrix.NewFixed(1, fn.inDim)
-	return fn, nil
 }
 
 // InDim returns the input feature dimension.
@@ -75,32 +38,25 @@ func (fn *FixedNetwork) InDim() int { return fn.inDim }
 // PredictQ runs single-sample inference on pre-quantized features and
 // returns the argmax output index. It performs no allocation and no
 // floating-point arithmetic.
+//
+//kml:hotpath
 func (fn *FixedNetwork) PredictQ(features []fixed.Q16) int {
 	out := fn.forwardQ(features)
 	return out.ArgMaxRow(0)
 }
 
-// Predict quantizes float features and returns the argmax output index.
-func (fn *FixedNetwork) Predict(features []float64) int {
-	buf := fn.inBuf.Row(0)
-	if len(features) != len(buf) {
-		panic(fmt.Sprintf("nn: fixed predict got %d features, want %d", len(features), len(buf)))
-	}
-	for i, f := range features {
-		buf[i] = fixed.FromFloat(f)
-	}
-	return fn.PredictQ(buf)
-}
-
 // Logits runs single-sample inference and returns the output row (aliasing
 // internal scratch, valid until the next call).
+//
+//kml:hotpath
 func (fn *FixedNetwork) Logits(features []fixed.Q16) []fixed.Q16 {
 	return fn.forwardQ(features).Row(0)
 }
 
+//kml:hotpath
 func (fn *FixedNetwork) forwardQ(features []fixed.Q16) *matrix.Fixed {
 	if len(features) != fn.inDim {
-		panic(fmt.Sprintf("nn: fixed forward got %d features, want %d", len(features), fn.inDim))
+		panic("nn: fixed forward feature length mismatch")
 	}
 	copy(fn.inBuf.Row(0), features)
 	cur := fn.inBuf

@@ -1,3 +1,8 @@
+// Model (de)serialization. Persistence code must never drop an error —
+// a silently failed write corrupts the deployed model — so this file is
+// under the unchecked-error analyzer.
+//
+//kml:checkerrors
 package nn
 
 import (
@@ -27,6 +32,13 @@ import (
 const (
 	modelMagic   = "KMLF"
 	modelVersion = 1
+)
+
+// Sanity bounds for deserialized layer shapes: reject corrupt headers
+// before allocating buffers sized by them.
+const (
+	maxLinearDim     = 1 << 16
+	maxLinearWeights = 1 << 20
 )
 
 // Layer kind tags in the serialized format.
@@ -156,7 +168,13 @@ func Load(r io.Reader) (*Network, error) {
 			if err := binary.Read(cr, binary.LittleEndian, &out); err != nil {
 				return nil, fmt.Errorf("%w: %v", ErrBadModel, err)
 			}
-			if in == 0 || out == 0 || in > 1<<20 || out > 1<<20 {
+			// Bound the dimensions before allocating: a corrupt or
+			// hostile header claiming huge dims must fail cheaply, not
+			// commit gigabytes (readFloats allocates 8·in·out bytes
+			// up front). 2^20 weights ≫ any KML model (§3: the paper's
+			// readahead network is ~1 KB of parameters).
+			if in == 0 || out == 0 || in > maxLinearDim || out > maxLinearDim ||
+				uint64(in)*uint64(out) > maxLinearWeights {
 				return nil, fmt.Errorf("%w: linear dims %dx%d", ErrBadModel, in, out)
 			}
 			l := &Linear{
@@ -197,21 +215,23 @@ func Load(r io.Reader) (*Network, error) {
 }
 
 // SaveFile writes the model to path, creating or truncating it.
-func (n *Network) SaveFile(path string) error {
+func (n *Network) SaveFile(path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		// Close errors matter on the write path (buffered data may hit
+		// the disk only now); don't let them vanish behind a save error.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	bw := bufio.NewWriter(f)
 	if err := n.Save(bw); err != nil {
-		f.Close()
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return bw.Flush()
 }
 
 // LoadFile reads a model saved with SaveFile — the "deploy into the kernel

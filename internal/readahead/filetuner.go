@@ -147,14 +147,21 @@ func (t *FileTuner) evictIdle() {
 
 // Hook returns the inline data-collection function.
 func (t *FileTuner) Hook() trace.Hook {
-	return func(ev trace.Event) {
-		t.pipeline.Collect(features.Record{
-			Inode:  ev.Inode,
-			Offset: ev.Offset,
-			Time:   ev.Time,
-			Write:  ev.Point == trace.WritebackDirtyPage,
-		})
+	return t.collect
+}
+
+// collect pushes one tracepoint record into the lock-free pipeline; like
+// Tuner.collect it runs inline on the I/O path.
+//
+//kml:hotpath
+func (t *FileTuner) collect(ev trace.Event) {
+	rec := features.Record{
+		Inode:  ev.Inode,
+		Offset: ev.Offset,
+		Time:   ev.Time,
+		Write:  ev.Point == trace.WritebackDirtyPage,
 	}
+	t.pipeline.Collect(rec)
 }
 
 // MaybeTick drains the pipeline and, once per window, classifies every

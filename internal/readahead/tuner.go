@@ -119,14 +119,23 @@ func NewTuner(dev *blockdev.Device, model core.Classifier, norm features.Normali
 // Hook returns the inline data-collection function to register on the
 // tracer. It costs one lock-free ring push per event.
 func (t *Tuner) Hook() trace.Hook {
-	return func(ev trace.Event) {
-		t.pipeline.Collect(features.Record{
-			Inode:  ev.Inode,
-			Offset: ev.Offset,
-			Time:   ev.Time,
-			Write:  ev.Point == trace.WritebackDirtyPage,
-		})
+	return t.collect
+}
+
+// collect is the paper's inline data-collection function (§4): it runs on
+// every tracepoint firing, so it is a single struct copy and a lock-free
+// ring push. The record literal stays on the stack — Collect's parameter
+// is a concrete type, not an interface.
+//
+//kml:hotpath
+func (t *Tuner) collect(ev trace.Event) {
+	rec := features.Record{
+		Inode:  ev.Inode,
+		Offset: ev.Offset,
+		Time:   ev.Time,
+		Write:  ev.Point == trace.WritebackDirtyPage,
 	}
+	t.pipeline.Collect(rec)
 }
 
 // MaybeTick drains the pipeline and, once per window, runs inference and

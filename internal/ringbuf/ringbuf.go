@@ -7,6 +7,8 @@
 // dropped and counted, matching the paper's observation that "losing part of
 // the training data could reduce the model's accuracy" and that users must
 // size the buffer against their sampling rate.
+//
+//kml:kernelspace
 package ringbuf
 
 import "sync/atomic"
@@ -27,9 +29,23 @@ type Ring[T any] struct {
 	buf     []T
 }
 
+// MaxCapacity is the largest accepted ring capacity: the round-up loop
+// must be able to represent the next power of two in a uint64 without the
+// shift wrapping to zero.
+const MaxCapacity = 1 << 62
+
 // New returns a ring with capacity rounded up to the next power of two
-// (minimum 2).
+// (minimum 2). It panics if capacity is not positive or exceeds
+// MaxCapacity; without the bound, the round-up shift would wrap to zero
+// on a huge request and spin forever (and a negative capacity converts to
+// an enormous uint64).
 func New[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("ringbuf: capacity must be positive")
+	}
+	if capacity > MaxCapacity {
+		panic("ringbuf: capacity exceeds MaxCapacity")
+	}
 	n := uint64(2)
 	for n < uint64(capacity) {
 		n <<= 1
@@ -48,6 +64,8 @@ func (r *Ring[T]) Len() int {
 
 // TryPush appends v and reports success. On a full ring it increments the
 // drop counter and returns false without blocking.
+//
+//kml:hotpath
 func (r *Ring[T]) TryPush(v T) bool {
 	tail := r.tail.Load()
 	if tail-r.head.Load() >= uint64(len(r.buf)) {
@@ -62,6 +80,8 @@ func (r *Ring[T]) TryPush(v T) bool {
 
 // TryPop removes and returns the oldest element, reporting whether one was
 // available.
+//
+//kml:hotpath
 func (r *Ring[T]) TryPop() (T, bool) {
 	var zero T
 	head := r.head.Load()
@@ -76,6 +96,8 @@ func (r *Ring[T]) TryPop() (T, bool) {
 
 // PopBatch pops up to len(dst) elements into dst and returns the count.
 // Batching amortizes the atomic operations on the training-thread side.
+//
+//kml:hotpath
 func (r *Ring[T]) PopBatch(dst []T) int {
 	head := r.head.Load()
 	tail := r.tail.Load()

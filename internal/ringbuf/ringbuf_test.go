@@ -25,14 +25,50 @@ func TestPushPopFIFO(t *testing.T) {
 }
 
 func TestCapacityRounding(t *testing.T) {
-	if New[int](5).Cap() != 8 {
-		t.Error("capacity should round to 8")
+	tests := []struct {
+		capacity int
+		want     int
+	}{
+		{1, 2},
+		{2, 2},
+		{3, 4},
+		{5, 8},
+		{8, 8},
+		{9, 16},
+		{1 << 20, 1 << 20},
+		{1<<20 + 1, 1 << 21},
 	}
-	if New[int](8).Cap() != 8 {
-		t.Error("exact power of two should stay")
+	for _, tt := range tests {
+		if got := New[int](tt.capacity).Cap(); got != tt.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tt.capacity, got, tt.want)
+		}
 	}
-	if New[int](0).Cap() != 2 {
-		t.Error("minimum capacity is 2")
+}
+
+func TestCapacityLimits(t *testing.T) {
+	// MaxCapacity itself is accepted: zero-size elements keep the backing
+	// array free, so the constructor must not reject it.
+	if got := New[struct{}](MaxCapacity).Cap(); got != MaxCapacity {
+		t.Errorf("New(MaxCapacity).Cap() = %d, want %d", got, MaxCapacity)
+	}
+	rejected := []struct {
+		name     string
+		capacity int
+	}{
+		{"zero", 0},
+		{"negative", -1},
+		{"very negative", -1 << 40},
+		{"above max", MaxCapacity + 1},
+	}
+	for _, tt := range rejected {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", tt.capacity)
+				}
+			}()
+			New[struct{}](tt.capacity)
+		})
 	}
 }
 

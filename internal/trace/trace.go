@@ -80,7 +80,10 @@ func (t *Tracer) SetEnabled(on bool) { t.enabled = on }
 func (t *Tracer) Enabled() bool { return t.enabled }
 
 // Emit dispatches one event to all hooks. With no hooks registered (or
-// disabled) it is nearly free, like a disabled kernel tracepoint.
+// disabled) it is nearly free, like a disabled kernel tracepoint. It runs
+// inline on the simulated I/O path, so it must not allocate.
+//
+//kml:hotpath
 func (t *Tracer) Emit(ev Event) {
 	if !t.enabled {
 		return
