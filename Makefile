@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet test race fuzz ci clean
+.PHONY: all build vet kml-vet test race fuzz serve-smoke ci clean
 
 all: build
 
@@ -18,8 +18,10 @@ kml-vet:
 test:
 	$(GO) test ./...
 
+# The simulation-heavy suites (internal/readahead) run near go test's
+# default 10m per-package limit under the race detector; give headroom.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Run every fuzz target briefly. Go's fuzzer allows one -fuzz pattern per
 # package invocation, so targets run sequentially.
@@ -27,8 +29,14 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzRingPushPop -fuzztime=$(FUZZTIME) ./internal/ringbuf/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
+	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 
-ci: build vet race fuzz kml-vet
+# End-to-end smoke of the serving subsystem: daemon + deploy + bench +
+# graceful shutdown on a unix socket.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+ci: build vet race fuzz serve-smoke kml-vet
 
 clean:
 	$(GO) clean ./...

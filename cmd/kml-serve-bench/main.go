@@ -1,0 +1,130 @@
+// Command kml-serve-bench measures inference latency and throughput
+// against a live kml-served daemon, the serving-path counterpart of
+// cmd/kml-overhead's in-process numbers. The paper reports 21 µs per
+// in-kernel inference for the readahead network (§5, Table 3); this
+// bench shows where a user-space serving hop lands against that, and how
+// much of the gap batching buys back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mserve"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "unix", "daemon network: unix or tcp")
+		addr    = flag.String("addr", "kml-served.sock", "daemon address")
+		total   = flag.Int("n", 10000, "total inferences to issue")
+		batch   = flag.Int("batch", 1, "rows per request (1 = single-inference protocol)")
+		conns   = flag.Int("conns", 1, "concurrent client connections")
+		seed    = flag.Int64("seed", 1, "seed for synthetic feature vectors")
+	)
+	flag.Parse()
+	if *total <= 0 || *batch <= 0 || *conns <= 0 {
+		fatal(fmt.Errorf("n, batch and conns must be positive"))
+	}
+
+	probe, err := mserve.Dial(*network, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	ok, version, inDim, err := probe.Health()
+	probe.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if !ok {
+		fatal(fmt.Errorf("daemon at %s has no model deployed", *addr))
+	}
+
+	reqPerConn := (*total / *batch) / *conns
+	if reqPerConn == 0 {
+		reqPerConn = 1
+	}
+	type result struct {
+		lats []time.Duration
+		rows int
+		err  error
+	}
+	results := make([]result, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := &results[c]
+			cl, err := mserve.Dial(*network, *addr)
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(*seed + int64(c)))
+			flat := make([]float64, *batch*int(inDim))
+			r.lats = make([]time.Duration, 0, reqPerConn)
+			for i := 0; i < reqPerConn; i++ {
+				for j := range flat {
+					flat[j] = rng.Float64()
+				}
+				t0 := time.Now()
+				if *batch == 1 {
+					_, _, err = cl.Infer(flat)
+				} else {
+					_, _, err = cl.BatchInfer(flat, *batch, int(inDim))
+				}
+				if err != nil {
+					r.err = err
+					return
+				}
+				r.lats = append(r.lats, time.Since(t0))
+				r.rows += *batch
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats []time.Duration
+	rows := 0
+	for c := range results {
+		if results[c].err != nil {
+			fatal(fmt.Errorf("conn %d: %w", c, results[c].err))
+		}
+		lats = append(lats, results[c].lats...)
+		rows += results[c].rows
+	}
+	if rows == 0 {
+		fatal(fmt.Errorf("no inferences completed"))
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	perRow := func(d time.Duration) float64 {
+		return float64(d.Nanoseconds()) / 1e3 / float64(*batch)
+	}
+
+	fmt.Printf("model version %d, indim %d\n", version, inDim)
+	fmt.Printf("requests=%d batch=%d conns=%d rows=%d elapsed=%s\n",
+		len(lats), *batch, *conns, rows, elapsed.Round(time.Millisecond))
+	fmt.Printf("request latency: p50=%s p95=%s p99=%s max=%s\n",
+		pct(0.50), pct(0.95), pct(0.99), lats[len(lats)-1])
+	fmt.Printf("per-inference:   p50_us=%.1f p99_us=%.1f (paper in-kernel: 21 us)\n",
+		perRow(pct(0.50)), perRow(pct(0.99)))
+	fmt.Printf("throughput_ips=%.0f\n", float64(rows)/elapsed.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,149 @@
+// Command kml-served is the model-serving daemon: the user-space stand-in
+// for the paper's in-kernel inference engine. It owns a versioned model
+// registry on disk, serves single and batched inference over the KML wire
+// protocol on a unix or TCP socket, and hot-swaps model versions without
+// interrupting traffic (deploy/rollback are registry operations plus one
+// atomic pointer swap).
+//
+// Typical use:
+//
+//	kml-served -addr /run/kml.sock -registry /var/lib/kml -deploy readahead.kml -name readahead-nn
+//	kml-served -addr /run/kml.sock -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/memutil"
+	"repro/internal/mserve"
+)
+
+func main() {
+	var (
+		network   = flag.String("network", "unix", "listen network: unix or tcp")
+		addr      = flag.String("addr", "kml-served.sock", "listen address (socket path or host:port)")
+		registry  = flag.String("registry", "kml-registry", "model registry directory")
+		deploy    = flag.String("deploy", "", "model file to deploy at startup (optional)")
+		kind      = flag.String("kind", "nn", "model kind for -deploy: nn or dtree")
+		name      = flag.String("name", "readahead", "model name for -deploy")
+		maxConns  = flag.Int("max-conns", 64, "concurrent connection limit")
+		reserveMB = flag.Int("reserve-mb", 0, "memory reservation for admission control (0 = unlimited)")
+		status    = flag.Bool("status", false, "query a running daemon's stats and exit")
+	)
+	flag.Parse()
+
+	if *status {
+		os.Exit(printStatus(*network, *addr))
+	}
+
+	reg, err := mserve.OpenRegistry(*registry)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := mserve.Config{Registry: reg, MaxConns: *maxConns}
+	if *reserveMB > 0 {
+		arena := memutil.NewArena("kml-served")
+		arena.Reserve(int64(*reserveMB) << 20)
+		cfg.Arena = arena
+	}
+	srv, err := mserve.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *deploy != "" {
+		data, err := os.ReadFile(*deploy)
+		if err != nil {
+			fatal(err)
+		}
+		k, err := parseKind(*kind)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := srv.Deploy(k, *name, data)
+		if err != nil {
+			fatal(fmt.Errorf("deploy %s: %w", *deploy, err))
+		}
+		fmt.Printf("deployed %s as version %d\n", *deploy, v.Number)
+	}
+
+	if *network == "unix" {
+		// A previous unclean shutdown leaves the socket file behind.
+		_ = os.Remove(*addr)
+	}
+	ln, err := net.Listen(*network, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kml-served listening on %s %s (registry %s)\n", *network, *addr, *registry)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case sig := <-sigs:
+		fmt.Printf("received %s, draining...\n", sig)
+		srv.Shutdown(10 * time.Second)
+		if err := <-done; err != nil {
+			fatal(err)
+		}
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d inferences (%d rows), %d deploys, %d dropped events\n",
+		st.Inferences, st.Rows, st.Deploys, st.Dropped)
+}
+
+func printStatus(network, addr string) int {
+	cl, err := mserve.Dial(network, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer cl.Close()
+	st, err := cl.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("active_version      %d\n", st.ActiveVersion)
+	fmt.Printf("deploys             %d\n", st.Deploys)
+	fmt.Printf("rollbacks           %d\n", st.Rollbacks)
+	fmt.Printf("inferences          %d\n", st.Inferences)
+	fmt.Printf("rows                %d\n", st.Rows)
+	fmt.Printf("errors              %d\n", st.Errors)
+	fmt.Printf("conns               %d/%d\n", st.Conns, st.MaxConns)
+	fmt.Printf("conn_rejects        %d\n", st.ConnRejects)
+	fmt.Printf("arena_rejects       %d\n", st.ArenaRejects)
+	fmt.Printf("collected           %d\n", st.Collected)
+	fmt.Printf("processed           %d\n", st.Processed)
+	fmt.Printf("dropped             %d\n", st.Dropped)
+	fmt.Printf("buffer              %d/%d\n", st.BufferLen, st.BufferCap)
+	fmt.Printf("arena_live_bytes    %d\n", st.ArenaLive)
+	fmt.Printf("arena_peak_bytes    %d\n", st.ArenaPeak)
+	return 0
+}
+
+func parseKind(s string) (mserve.ModelKind, error) {
+	switch s {
+	case "nn":
+		return mserve.KindNN, nil
+	case "dtree":
+		return mserve.KindDTree, nil
+	}
+	return 0, fmt.Errorf("unknown model kind %q (want nn or dtree)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -127,6 +127,7 @@ type Pipeline[S any] struct {
 	collected atomic.Uint64
 	processed atomic.Uint64
 
+	stopOnce   sync.Once
 	chargeOnce sync.Once
 	charged    int64
 }
@@ -224,16 +225,14 @@ func (p *Pipeline[S]) drain(batch []S) {
 
 // Stop terminates the training thread after a final drain, releases the
 // arena charge, and waits for completion. A pipeline cannot be restarted.
+// Stop is idempotent and safe to call from multiple goroutines: every
+// caller returns only after the final drain has completed, so samples
+// accepted by Collect before the producers quiesced are all processed.
 func (p *Pipeline[S]) Stop() {
 	if !p.started.Load() {
 		return
 	}
-	select {
-	case <-p.stop:
-		// already stopped
-	default:
-		close(p.stop)
-	}
+	p.stopOnce.Do(func() { close(p.stop) })
 	<-p.done
 	if p.cfg.Arena != nil {
 		p.chargeOnce.Do(func() { p.cfg.Arena.Release(p.charged) })
@@ -268,6 +267,11 @@ func (p *Pipeline[S]) Dropped() uint64 { return p.ring.Dropped() }
 
 // BufferLen returns the instantaneous ring occupancy.
 func (p *Pipeline[S]) BufferLen() int { return p.ring.Len() }
+
+// BufferCap returns the ring capacity (BufferCapacity rounded up to a
+// power of two), the denominator operators need to read BufferLen as
+// backpressure.
+func (p *Pipeline[S]) BufferCap() int { return p.ring.Cap() }
 
 // Registry names deployed models, mirroring the kernel module registry a
 // KML application registers its models with.

@@ -1,0 +1,30 @@
+// Package generichot pins the analyzers' behavior on generic code: the
+// serving layer's hot-swap handle is a generic type whose Load sits on
+// the inference path, so hotpath directives must work — in both
+// directions — inside type-parameterized functions.
+package generichot
+
+import "sync/atomic"
+
+// Box publishes a value of any type, like the serving deployment handle.
+type Box[T any] struct {
+	p atomic.Pointer[T]
+}
+
+// Get is the hot read path: a single atomic load, no allocation — the
+// analyzer must stay quiet on a clean generic hot function.
+//
+//kml:hotpath
+func (b *Box[T]) Get() *T {
+	return b.p.Load()
+}
+
+// Put allocates a fresh T on what is marked as a hot path: the builtin
+// new must be reported even though the size of T is a type parameter.
+//
+//kml:hotpath
+func (b *Box[T]) Put(v T) {
+	p := new(T) // want:noalloc
+	*p = v
+	b.p.Store(p)
+}

@@ -1,0 +1,157 @@
+// Client side of the serving protocol. One Client owns one connection and
+// is safe for sequential use by one goroutine (the protocol is strict
+// request/response); a load generator opens one Client per worker.
+package mserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// ErrRemote wraps a MsgError response from the server; the connection
+// stays usable after one.
+var ErrRemote = errors.New("mserve: server error")
+
+// Client is a serving-protocol connection.
+type Client struct {
+	c       net.Conn
+	timeout time.Duration
+	hdr     [HeaderSize]byte
+	req     []byte // request payload buffer; must not alias out
+	out     []byte // encoded request frame
+	payload []byte // response payload buffer
+	classes []uint16
+}
+
+// Dial connects to a serving endpoint on network ("tcp", "unix").
+func Dial(network, addr string) (*Client, error) {
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(c), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(c net.Conn) *Client {
+	return &Client{c: c, timeout: 30 * time.Second}
+}
+
+// SetTimeout bounds each request round trip; 0 disables deadlines.
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// do writes one request frame and reads the response frame, returning the
+// response type and payload (aliasing cl.payload, valid until the next
+// call).
+func (cl *Client) do(typ MsgType, payload []byte) (MsgType, []byte, error) {
+	if cl.timeout != 0 {
+		if err := cl.c.SetDeadline(time.Now().Add(cl.timeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	cl.out = cl.out[:0]
+	cl.out = AppendFrame(cl.out, typ, payload)
+	if _, err := cl.c.Write(cl.out); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(cl.c, cl.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	h, err := ParseHeader(cl.hdr[:])
+	if err != nil {
+		return 0, nil, err
+	}
+	cl.payload = growBytes(cl.payload, int(h.Length))
+	if _, err := io.ReadFull(cl.c, cl.payload); err != nil {
+		return 0, nil, err
+	}
+	if err := h.CheckPayload(cl.payload); err != nil {
+		return 0, nil, err
+	}
+	if h.Type == MsgError {
+		return h.Type, nil, fmt.Errorf("%w: %s", ErrRemote, cl.payload)
+	}
+	if h.Type != typ {
+		return h.Type, nil, fmt.Errorf("%w: response type %d to request %d", ErrBadMessage, h.Type, typ)
+	}
+	return h.Type, cl.payload, nil
+}
+
+// Infer classifies one feature vector on the deployed model, returning
+// the class and the serving model version.
+func (cl *Client) Infer(feats []float64) (class int, version uint64, err error) {
+	cl.req = AppendInferReq(cl.req[:0], feats)
+	_, resp, err := cl.do(MsgInfer, cl.req)
+	if err != nil {
+		return 0, 0, err
+	}
+	c16, v, err := ParseInferResp(resp)
+	return int(c16), v, err
+}
+
+// BatchInfer classifies rows vectors of nfeat features (row-major in
+// feats) in one round trip. The returned class slice is reused across
+// calls; copy it to retain.
+func (cl *Client) BatchInfer(feats []float64, rows, nfeat int) (classes []uint16, version uint64, err error) {
+	if rows <= 0 || nfeat <= 0 || len(feats) < rows*nfeat {
+		return nil, 0, fmt.Errorf("%w: batch shape %dx%d over %d floats", ErrBadMessage, rows, nfeat, len(feats))
+	}
+	cl.req = AppendBatchInferReq(cl.req[:0], feats, rows, nfeat)
+	_, resp, err := cl.do(MsgBatchInfer, cl.req)
+	if err != nil {
+		return nil, 0, err
+	}
+	if rows > len(cl.classes) {
+		cl.classes = make([]uint16, rows)
+	}
+	n, v, err := ParseBatchInferResp(resp, cl.classes)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cl.classes[:n], v, nil
+}
+
+// Deploy uploads a serialized model and activates it, returning the new
+// version number.
+func (cl *Client) Deploy(kind ModelKind, name string, model []byte) (uint64, error) {
+	cl.req = AppendDeployReq(cl.req[:0], kind, name, model)
+	_, resp, err := cl.do(MsgDeploy, cl.req)
+	if err != nil {
+		return 0, err
+	}
+	return ParseVersionResp(resp)
+}
+
+// Rollback reverts the server to the previously active version.
+func (cl *Client) Rollback() (uint64, error) {
+	_, resp, err := cl.do(MsgRollback, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ParseVersionResp(resp)
+}
+
+// Stats fetches the server's operational counters.
+func (cl *Client) Stats() (Stats, error) {
+	_, resp, err := cl.do(MsgStats, nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	return ParseStats(resp)
+}
+
+// Health reports whether the server is serving, the active version, and
+// the deployed model's input width.
+func (cl *Client) Health() (ok bool, version uint64, inDim int, err error) {
+	_, resp, err := cl.do(MsgHealth, nil)
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return ParseHealthResp(resp)
+}

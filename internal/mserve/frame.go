@@ -1,0 +1,143 @@
+// Wire framing. Every message on a serving connection is one frame:
+//
+//	magic   [2]byte  "KM"
+//	version uint8    (FrameVersion)
+//	type    uint8    message type (protocol.go)
+//	length  uint32   payload bytes, little-endian, <= MaxPayload
+//	crc     uint32   IEEE CRC32 of the payload, little-endian
+//	payload [length]byte
+//
+// The header is fixed-size so the per-request read loop is two ReadFull
+// calls into reused buffers. Length is bounded before any allocation is
+// sized by it (the same hostile-header discipline as nn.Load), and the CRC
+// rejects corrupt or truncated payloads before they reach a decoder.
+package mserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Frame constants.
+const (
+	// FrameVersion is the wire-protocol version carried in every header.
+	// A peer speaking a different version is rejected with ErrVersionSkew
+	// rather than misparsed.
+	FrameVersion = 1
+	// HeaderSize is the fixed frame-header length in bytes.
+	HeaderSize = 12
+	// MaxPayload bounds one frame's payload. It must admit a Deploy frame
+	// carrying a serialized model; KML models are a few KB (the paper's
+	// readahead model is 3,916 B), so 1 MiB is generous.
+	MaxPayload = 1 << 20
+)
+
+// Frame decode errors.
+var (
+	// ErrShortFrame reports a header or payload shorter than declared.
+	ErrShortFrame = errors.New("mserve: short frame")
+	// ErrBadMagic reports a frame that does not start with "KM".
+	ErrBadMagic = errors.New("mserve: bad frame magic")
+	// ErrVersionSkew reports a frame from a peer speaking another protocol
+	// version.
+	ErrVersionSkew = errors.New("mserve: frame version skew")
+	// ErrOversizedFrame reports a declared payload length above MaxPayload.
+	ErrOversizedFrame = errors.New("mserve: oversized frame")
+	// ErrBadFrameCRC reports a payload failing its header checksum.
+	ErrBadFrameCRC = errors.New("mserve: frame checksum mismatch")
+)
+
+// Header is a decoded frame header.
+type Header struct {
+	Version uint8
+	Type    MsgType
+	Length  uint32
+	CRC     uint32
+}
+
+// PutHeader writes the header for payload into dst, which must be at least
+// HeaderSize bytes. It runs once per request on the serving path, so it
+// writes into a caller-owned buffer and does not allocate.
+//
+//kml:hotpath
+func PutHeader(dst []byte, typ MsgType, payload []byte) {
+	_ = dst[HeaderSize-1]
+	dst[0] = 'K'
+	dst[1] = 'M'
+	dst[2] = FrameVersion
+	dst[3] = byte(typ)
+	binary.LittleEndian.PutUint32(dst[4:8], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[8:12], crc32.ChecksumIEEE(payload))
+}
+
+// ParseHeader decodes and validates a frame header. The returned header's
+// Length is guaranteed <= MaxPayload, so sizing a read buffer by it is
+// safe.
+//
+//kml:hotpath
+func ParseHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderSize {
+		return h, ErrShortFrame
+	}
+	if b[0] != 'K' || b[1] != 'M' {
+		return h, ErrBadMagic
+	}
+	h.Version = b[2]
+	h.Type = MsgType(b[3])
+	h.Length = binary.LittleEndian.Uint32(b[4:8])
+	h.CRC = binary.LittleEndian.Uint32(b[8:12])
+	if h.Version != FrameVersion {
+		return h, ErrVersionSkew
+	}
+	if h.Length > MaxPayload {
+		return h, ErrOversizedFrame
+	}
+	return h, nil
+}
+
+// CheckPayload verifies that payload matches the header's declared length
+// and checksum.
+//
+//kml:hotpath
+func (h Header) CheckPayload(payload []byte) error {
+	if uint32(len(payload)) != h.Length {
+		return ErrShortFrame
+	}
+	if crc32.ChecksumIEEE(payload) != h.CRC {
+		return ErrBadFrameCRC
+	}
+	return nil
+}
+
+// DecodeFrame consumes one complete frame from the front of b, returning
+// the message type, the payload (aliasing b), and the unconsumed rest.
+// It is the one entry point a byte-stream decoder needs and the surface
+// FuzzFrameDecode drives with hostile input: short buffers, truncated
+// headers, lying lengths and version skew must all return an error, never
+// panic or over-read.
+func DecodeFrame(b []byte) (typ MsgType, payload, rest []byte, err error) {
+	h, err := ParseHeader(b)
+	if err != nil {
+		return 0, nil, b, err
+	}
+	end := HeaderSize + int(h.Length) // Length <= MaxPayload: no overflow
+	if len(b) < end {
+		return 0, nil, b, ErrShortFrame
+	}
+	payload = b[HeaderSize:end]
+	if err := h.CheckPayload(payload); err != nil {
+		return 0, nil, b, err
+	}
+	return h.Type, payload, b[end:], nil
+}
+
+// AppendFrame appends one complete frame to dst and returns the extended
+// slice — the cold-path (client, tests) encoder counterpart of DecodeFrame.
+func AppendFrame(dst []byte, typ MsgType, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	PutHeader(hdr[:], typ, payload)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}

@@ -1,0 +1,145 @@
+package mserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	var stream []byte
+	for i, p := range payloads {
+		stream = AppendFrame(stream, MsgType(i+1), p)
+	}
+	rest := stream
+	for i, p := range payloads {
+		typ, payload, r, err := DecodeFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != MsgType(i+1) || !bytes.Equal(payload, p) {
+			t.Fatalf("frame %d: typ=%d payload=%v", i, typ, payload)
+		}
+		rest = r
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestFrameDecodeRejectsHostileInput(t *testing.T) {
+	good := AppendFrame(nil, MsgInfer, []byte("payload"))
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrShortFrame},
+		{"truncated header", func(b []byte) []byte { return b[:HeaderSize-1] }, ErrShortFrame},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrShortFrame},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrBadMagic},
+		{"version skew", func(b []byte) []byte { b[2] = FrameVersion + 1; return b }, ErrVersionSkew},
+		{"oversized length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], MaxPayload+1)
+			return b
+		}, ErrOversizedFrame},
+		{"lying length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 1<<19)
+			return b
+		}, ErrShortFrame},
+		{"corrupt payload", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b }, ErrBadFrameCRC},
+		{"corrupt crc", func(b []byte) []byte { b[9] ^= 0xFF; return b }, ErrBadFrameCRC},
+	}
+	for _, tc := range cases {
+		b := tc.mut(append([]byte(nil), good...))
+		_, _, rest, err := DecodeFrame(b)
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+		if !bytes.Equal(rest, b) {
+			t.Errorf("%s: failed decode consumed input", tc.name)
+		}
+	}
+}
+
+func TestProtocolRoundTrips(t *testing.T) {
+	feats := []float64{0.25, -1, 3.5, 42}
+
+	p := AppendInferReq(nil, feats)
+	dst := make([]float64, 8)
+	n, err := ParseInferReq(p, dst)
+	if err != nil || n != 4 {
+		t.Fatalf("infer req: n=%d err=%v", n, err)
+	}
+	for i, f := range feats {
+		if dst[i] != f {
+			t.Fatalf("feat %d = %v", i, dst[i])
+		}
+	}
+
+	p = AppendInferResp(nil, 3, 17)
+	class, version, err := ParseInferResp(p)
+	if err != nil || class != 3 || version != 17 {
+		t.Fatalf("infer resp: %d %d %v", class, version, err)
+	}
+
+	flat := []float64{1, 2, 3, 4, 5, 6}
+	p = AppendBatchInferReq(nil, flat, 2, 3)
+	bdst := make([]float64, 6)
+	rows, nfeat, err := ParseBatchInferReq(p, bdst)
+	if err != nil || rows != 2 || nfeat != 3 {
+		t.Fatalf("batch req: %d %d %v", rows, nfeat, err)
+	}
+
+	classes := []uint16{0, 3, 2}
+	p = AppendBatchInferResp(nil, classes, 9)
+	out := make([]uint16, 3)
+	rows, version, err = ParseBatchInferResp(p, out)
+	if err != nil || rows != 3 || version != 9 || out[1] != 3 {
+		t.Fatalf("batch resp: rows=%d v=%d out=%v err=%v", rows, version, out, err)
+	}
+
+	p = AppendDeployReq(nil, KindDTree, "readahead", []byte{9, 9, 9})
+	kind, name, model, err := ParseDeployReq(p)
+	if err != nil || kind != KindDTree || name != "readahead" || len(model) != 3 {
+		t.Fatalf("deploy req: %v %q %v %v", kind, name, model, err)
+	}
+
+	st := Stats{
+		ActiveVersion: 1, Deploys: 2, Rollbacks: 3, Inferences: 4, Rows: 5,
+		Errors: 6, Conns: 7, MaxConns: 8, ConnRejects: 9, ArenaRejects: 10,
+		Collected: 11, Processed: 12, Dropped: 13, BufferLen: 14,
+		BufferCap: 15, ArenaLive: 16, ArenaPeak: 17,
+	}
+	got, err := ParseStats(AppendStats(nil, st))
+	if err != nil || got != st {
+		t.Fatalf("stats round trip: %+v err=%v", got, err)
+	}
+
+	ok, version, inDim, err := ParseHealthResp(AppendHealthResp(nil, true, 5, 4))
+	if err != nil || !ok || version != 5 || inDim != 4 {
+		t.Fatalf("health: %v %d %d %v", ok, version, inDim, err)
+	}
+}
+
+func TestParseReqBounds(t *testing.T) {
+	dst := make([]float64, 4)
+	if _, err := ParseInferReq(nil, dst); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("nil infer req: %v", err)
+	}
+	// Declared count larger than payload.
+	p := AppendInferReq(nil, []float64{1, 2, 3, 4})
+	binary.LittleEndian.PutUint16(p, 100)
+	if _, err := ParseInferReq(p, dst); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("lying infer count: %v", err)
+	}
+	// Batch rows above the protocol bound.
+	b := AppendBatchInferReq(nil, []float64{1, 2}, 1, 2)
+	binary.LittleEndian.PutUint32(b, MaxBatchRows+1)
+	if _, _, err := ParseBatchInferReq(b, dst); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("oversized batch rows: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package mserve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameDecode drives the wire-frame decoder with hostile input. The
+// decoder sits on the network boundary, so it faces exactly the bug class
+// the PR 1 WAL fuzzing caught in the uvarint path: lengths that lie,
+// truncated headers, version skew, and corrupt checksums must all return
+// an error without panicking, over-reading, or sizing an allocation from
+// an unvalidated header. On success, re-encoding must reproduce the
+// consumed bytes exactly (the format has one canonical encoding).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFrame(nil, MsgInfer, nil))
+	f.Add(AppendFrame(nil, MsgBatchInfer, bytes.Repeat([]byte{7}, 100)))
+	f.Add(AppendFrame(nil, MsgError, []byte("boom")))
+	// Two frames back to back: the stream case.
+	f.Add(AppendFrame(AppendFrame(nil, MsgHealth, nil), MsgStats, []byte{1, 2, 3}))
+	// Truncated header and truncated payload.
+	f.Add([]byte{'K', 'M', 1})
+	f.Add(AppendFrame(nil, MsgInfer, []byte("abc"))[:HeaderSize+1])
+	// Version skew and oversized length.
+	f.Add([]byte{'K', 'M', 99, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	hostile := AppendFrame(nil, MsgInfer, nil)
+	binary.LittleEndian.PutUint32(hostile[4:8], ^uint32(0))
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		// Stream-decode until error; the loop must terminate (progress on
+		// every success) and never panic.
+		rest := b
+		for i := 0; ; i++ {
+			typ, payload, next, err := DecodeFrame(rest)
+			if err != nil {
+				// A failed decode must not consume input.
+				if !bytes.Equal(next, rest) {
+					t.Fatalf("failed decode consumed input")
+				}
+				break
+			}
+			if len(payload) > MaxPayload {
+				t.Fatalf("payload %d exceeds MaxPayload", len(payload))
+			}
+			consumed := len(rest) - len(next)
+			if consumed < HeaderSize {
+				t.Fatalf("decode made no progress (consumed %d)", consumed)
+			}
+			re := AppendFrame(nil, typ, payload)
+			if !bytes.Equal(re, rest[:consumed]) {
+				t.Fatalf("re-encode mismatch on frame %d", i)
+			}
+			rest = next
+		}
+
+		// Hostile payloads through the message decoders: bounded scratch,
+		// so a lying header must error instead of indexing out of range.
+		var feats [64]float64
+		var classes [64]uint16
+		_, _ = ParseInferReq(b, feats[:])
+		_, _, _ = ParseBatchInferReq(b, feats[:])
+		_, _, _ = ParseInferResp(b)
+		_, _, _ = ParseBatchInferResp(b, classes[:])
+		_, _, _, _ = ParseDeployReq(b)
+		_, _ = ParseVersionResp(b)
+		_, _ = ParseStats(b)
+		_, _, _, _ = ParseHealthResp(b)
+	})
+}

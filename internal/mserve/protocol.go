@@ -1,0 +1,279 @@
+// Message payloads. Requests and responses share a message type; the
+// server echoes the request type on success and answers MsgError (payload:
+// UTF-8 message) on an application-level failure, keeping the connection
+// usable. Frame-level failures (bad magic, CRC, version skew) kill the
+// connection instead — the stream can no longer be trusted.
+//
+// All integers are little-endian; floats are IEEE-754 bit patterns, the
+// same conventions as the KML model file format.
+package mserve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// MsgType identifies a frame's message.
+type MsgType uint8
+
+// Protocol messages.
+const (
+	// MsgInfer: request u16 nfeat | nfeat×f64; response u16 class | u64 version.
+	MsgInfer MsgType = 1
+	// MsgBatchInfer: request u32 rows | u16 nfeat | rows·nfeat×f64;
+	// response u32 rows | u64 version | rows×u16 class.
+	MsgBatchInfer MsgType = 2
+	// MsgDeploy: request u8 kind | u16 len | name | model bytes;
+	// response u64 version.
+	MsgDeploy MsgType = 3
+	// MsgRollback: empty request; response u64 version.
+	MsgRollback MsgType = 4
+	// MsgStats: empty request; response statsFields×u64 (see Stats).
+	MsgStats MsgType = 5
+	// MsgHealth: empty request; response u8 ok | u64 version | u16 indim.
+	MsgHealth MsgType = 6
+	// MsgError: server→client only; payload is a UTF-8 message.
+	MsgError MsgType = 0x7F
+)
+
+// ErrBadMessage reports a payload that does not decode as its declared
+// message type.
+var ErrBadMessage = errors.New("mserve: bad message payload")
+
+// MaxBatchRows bounds one BatchInfer request. With the 4-feature readahead
+// model a maximal batch is ~256 KB, under MaxPayload.
+const MaxBatchRows = 8192
+
+// --- Infer ---
+
+// AppendInferReq appends a single-inference request payload.
+func AppendInferReq(dst []byte, feats []float64) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(feats)))
+	for _, f := range feats {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+// ParseInferReq decodes a single-inference request into dst and returns
+// the feature count. It runs once per request on the serving path: the
+// caller owns dst and grows it on ErrBadMessage when n exceeds cap (a
+// cold path — connections converge on the deployed model's width).
+//
+//kml:hotpath
+func ParseInferReq(p []byte, dst []float64) (int, error) {
+	if len(p) < 2 {
+		return 0, ErrBadMessage
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n == 0 || len(p) != 2+8*n || n > len(dst) {
+		return 0, ErrBadMessage
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[2+8*i:]))
+	}
+	return n, nil
+}
+
+// AppendInferResp appends a single-inference response payload.
+//
+//kml:hotpath
+func AppendInferResp(dst []byte, class uint16, version uint64) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, class)
+	return binary.LittleEndian.AppendUint64(dst, version)
+}
+
+// ParseInferResp decodes a single-inference response.
+func ParseInferResp(p []byte) (class uint16, version uint64, err error) {
+	if len(p) != 10 {
+		return 0, 0, ErrBadMessage
+	}
+	return binary.LittleEndian.Uint16(p), binary.LittleEndian.Uint64(p[2:]), nil
+}
+
+// --- BatchInfer ---
+
+// AppendBatchInferReq appends a batched-inference request: rows vectors of
+// nfeat features, flattened row-major in feats.
+func AppendBatchInferReq(dst []byte, feats []float64, rows, nfeat int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(nfeat))
+	for _, f := range feats[:rows*nfeat] {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+	}
+	return dst
+}
+
+// ParseBatchInferReq decodes a batched request into dst (row-major) and
+// returns (rows, nfeat). Like ParseInferReq, dst is caller-owned and grown
+// off the hot path on ErrBadMessage.
+//
+//kml:hotpath
+func ParseBatchInferReq(p []byte, dst []float64) (rows, nfeat int, err error) {
+	if len(p) < 6 {
+		return 0, 0, ErrBadMessage
+	}
+	rows = int(binary.LittleEndian.Uint32(p))
+	nfeat = int(binary.LittleEndian.Uint16(p[4:]))
+	if rows == 0 || nfeat == 0 || rows > MaxBatchRows {
+		return 0, 0, ErrBadMessage
+	}
+	total := rows * nfeat
+	if len(p) != 6+8*total || total > len(dst) {
+		return 0, 0, ErrBadMessage
+	}
+	for i := 0; i < total; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[6+8*i:]))
+	}
+	return rows, nfeat, nil
+}
+
+// AppendBatchInferResp appends a batched response for classes[:rows].
+//
+//kml:hotpath
+func AppendBatchInferResp(dst []byte, classes []uint16, version uint64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(classes)))
+	dst = binary.LittleEndian.AppendUint64(dst, version)
+	for _, c := range classes {
+		dst = binary.LittleEndian.AppendUint16(dst, c)
+	}
+	return dst
+}
+
+// ParseBatchInferResp decodes a batched response into classes, which must
+// hold the request's row count, and returns (rows, version).
+func ParseBatchInferResp(p []byte, classes []uint16) (int, uint64, error) {
+	if len(p) < 12 {
+		return 0, 0, ErrBadMessage
+	}
+	rows := int(binary.LittleEndian.Uint32(p))
+	version := binary.LittleEndian.Uint64(p[4:])
+	if rows > MaxBatchRows || len(p) != 12+2*rows || rows > len(classes) {
+		return 0, 0, ErrBadMessage
+	}
+	for i := 0; i < rows; i++ {
+		classes[i] = binary.LittleEndian.Uint16(p[12+2*i:])
+	}
+	return rows, version, nil
+}
+
+// --- Deploy / Rollback ---
+
+// AppendDeployReq appends a deploy request carrying a serialized model.
+func AppendDeployReq(dst []byte, kind ModelKind, name string, model []byte) []byte {
+	dst = append(dst, byte(kind))
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	return append(dst, model...)
+}
+
+// ParseDeployReq decodes a deploy request. The returned model slice
+// aliases p.
+func ParseDeployReq(p []byte) (kind ModelKind, name string, model []byte, err error) {
+	if len(p) < 3 {
+		return 0, "", nil, ErrBadMessage
+	}
+	kind = ModelKind(p[0])
+	n := int(binary.LittleEndian.Uint16(p[1:]))
+	if len(p) < 3+n {
+		return 0, "", nil, ErrBadMessage
+	}
+	return kind, string(p[3 : 3+n]), p[3+n:], nil
+}
+
+// AppendVersionResp appends the u64 version payload shared by the Deploy
+// and Rollback responses.
+func AppendVersionResp(dst []byte, version uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, version)
+}
+
+// ParseVersionResp decodes a u64 version payload.
+func ParseVersionResp(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, ErrBadMessage
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// --- Stats / Health ---
+
+// Stats is the server's operational snapshot, the wire analogue of the
+// counters an operator would otherwise need a debugger for. Collected /
+// Processed / Dropped / BufferLen surface the server's core.Pipeline, so
+// collection loss (ring backpressure) is visible from `kml-served -status`.
+type Stats struct {
+	ActiveVersion uint64 // registry version currently served
+	Deploys       uint64 // successful Deploy calls since registry open
+	Rollbacks     uint64 // successful Rollback calls since registry open
+	Inferences    uint64 // Infer + BatchInfer requests served
+	Rows          uint64 // total feature vectors classified
+	Errors        uint64 // MsgError responses sent
+	Conns         uint64 // connections currently open
+	MaxConns      uint64 // connection limit
+	ConnRejects   uint64 // connections refused at the limit
+	ArenaRejects  uint64 // connections refused by memutil admission
+	Collected     uint64 // samples accepted by the collection pipeline
+	Processed     uint64 // samples drained by the training thread
+	Dropped       uint64 // samples lost to a full ring (backpressure)
+	BufferLen     uint64 // instantaneous ring occupancy
+	BufferCap     uint64 // ring capacity
+	ArenaLive     uint64 // bytes charged to the server arena
+	ArenaPeak     uint64 // arena high-water mark
+}
+
+const statsFields = 17
+
+// AppendStats appends the stats payload.
+func AppendStats(dst []byte, st Stats) []byte {
+	for _, v := range [statsFields]uint64{
+		st.ActiveVersion, st.Deploys, st.Rollbacks,
+		st.Inferences, st.Rows, st.Errors,
+		st.Conns, st.MaxConns, st.ConnRejects, st.ArenaRejects,
+		st.Collected, st.Processed, st.Dropped, st.BufferLen, st.BufferCap,
+		st.ArenaLive, st.ArenaPeak,
+	} {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// ParseStats decodes a stats payload.
+func ParseStats(p []byte) (Stats, error) {
+	var st Stats
+	if len(p) != 8*statsFields {
+		return st, ErrBadMessage
+	}
+	var v [statsFields]uint64
+	for i := range v {
+		v[i] = binary.LittleEndian.Uint64(p[8*i:])
+	}
+	st = Stats{
+		ActiveVersion: v[0], Deploys: v[1], Rollbacks: v[2],
+		Inferences: v[3], Rows: v[4], Errors: v[5],
+		Conns: v[6], MaxConns: v[7], ConnRejects: v[8], ArenaRejects: v[9],
+		Collected: v[10], Processed: v[11], Dropped: v[12],
+		BufferLen: v[13], BufferCap: v[14],
+		ArenaLive: v[15], ArenaPeak: v[16],
+	}
+	return st, nil
+}
+
+// AppendHealthResp appends the health payload.
+func AppendHealthResp(dst []byte, ok bool, version uint64, inDim int) []byte {
+	b := byte(0)
+	if ok {
+		b = 1
+	}
+	dst = append(dst, b)
+	dst = binary.LittleEndian.AppendUint64(dst, version)
+	return binary.LittleEndian.AppendUint16(dst, uint16(inDim))
+}
+
+// ParseHealthResp decodes a health payload.
+func ParseHealthResp(p []byte) (ok bool, version uint64, inDim int, err error) {
+	if len(p) != 11 {
+		return false, 0, 0, ErrBadMessage
+	}
+	return p[0] == 1, binary.LittleEndian.Uint64(p[1:]), int(binary.LittleEndian.Uint16(p[9:])), nil
+}

@@ -1,0 +1,511 @@
+// The inference server. One goroutine per connection; each connection
+// owns all of its request-scoped buffers (header, payload, feature and
+// class slices, response) plus a private model Instance, so the
+// steady-state request loop performs no allocation and takes no lock —
+// the deployed model is reached through one atomic Deployment load per
+// request. Control-plane operations (Deploy, Rollback) go through the
+// registry and swap the deployment atomically; in-flight requests finish
+// on the snapshot they loaded.
+package mserve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/memutil"
+)
+
+// Sample is one served request recorded into the server's collection
+// pipeline — the serving-side analogue of the paper's inline data
+// collection (§3.2): the request handler pushes a fixed-size record into
+// the lock-free ring and the pipeline's asynchronous thread aggregates it.
+type Sample struct {
+	Version uint64 // model version that served the request
+	Class   int32  // predicted class (-1 for a batch record)
+	Rows    int32  // feature vectors classified
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry is the backing model store (required). If it has an active
+	// version, the server starts serving it immediately.
+	Registry *Registry
+	// MaxConns caps concurrent connections; 0 means 64.
+	MaxConns int
+	// ReadTimeout bounds the wait for the next request on an idle
+	// connection; 0 means 30s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one response write; 0 means 10s.
+	WriteTimeout time.Duration
+	// Arena, when set, provides admission control: each connection charges
+	// ConnBytes and the collection ring is charged at construction, so a
+	// reservation cap turns memory pressure into refused connections
+	// instead of unbounded growth (§3.1 memory reservation).
+	Arena *memutil.Arena
+	// ConnBytes is the accounted per-connection footprint; 0 means 64 KiB.
+	ConnBytes int64
+	// CollectCapacity sizes the collection ring; 0 means 4096 samples.
+	CollectCapacity int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 64
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.ConnBytes == 0 {
+		c.ConnBytes = 64 << 10
+	}
+	if c.CollectCapacity == 0 {
+		c.CollectCapacity = 4096
+	}
+	return c
+}
+
+// Server serves model inference over TCP or unix sockets.
+type Server struct {
+	cfg Config
+	dep *Deployment[*Artifact]
+
+	pipeline *core.Pipeline[Sample]
+	tallyMu  sync.Mutex
+	tally    map[uint64]uint64 // rows served per model version
+
+	ctlMu sync.Mutex // serializes Deploy/Rollback against each other
+
+	ln       net.Listener
+	lnMu     sync.Mutex
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	connsMu  sync.Mutex
+	conns    map[net.Conn]struct{}
+
+	open         atomic.Int64
+	inferences   atomic.Uint64
+	rows         atomic.Uint64
+	errorsSent   atomic.Uint64
+	connRejects  atomic.Uint64
+	arenaRejects atomic.Uint64
+}
+
+// NewServer builds a server over cfg.Registry and, if the registry has an
+// active version, loads it for serving. The collection pipeline is started
+// here and stopped by Shutdown.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("mserve: nil registry")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		dep:   &Deployment[*Artifact]{},
+		tally: make(map[uint64]uint64),
+		conns: make(map[net.Conn]struct{}),
+	}
+	p, err := core.NewPipeline[Sample](
+		core.Config{
+			BufferCapacity: cfg.CollectCapacity,
+			Arena:          cfg.Arena,
+			SampleBytes:    16,
+		},
+		func(batch []Sample, _ core.Mode) {
+			s.tallyMu.Lock()
+			for _, smp := range batch {
+				s.tally[smp.Version] += uint64(smp.Rows)
+			}
+			s.tallyMu.Unlock()
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	p.SetMode(core.ModeTraining)
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	s.pipeline = p
+	if _, ok := cfg.Registry.Active(); ok {
+		a, err := cfg.Registry.ActiveArtifact()
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		s.dep.Swap(a, a.Version.Number)
+	}
+	return s, nil
+}
+
+// Deployment returns the server's hot-swap handle, for in-process readers
+// that want to follow the served model (e.g. a co-located tuner).
+func (s *Server) Deployment() *Deployment[*Artifact] { return s.dep }
+
+// Deploy registers and activates a new model version, hot-swapping it
+// into the serving path. In-flight requests finish on the old version.
+func (s *Server) Deploy(kind ModelKind, name string, model []byte) (Version, error) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	v, err := s.cfg.Registry.Put(kind, name, model)
+	if err != nil {
+		return Version{}, err
+	}
+	a, err := s.cfg.Registry.Artifact(v.Number)
+	if err != nil {
+		return Version{}, err
+	}
+	s.dep.Swap(a, v.Number)
+	return v, nil
+}
+
+// Rollback reverts to the previously active version and swaps it in.
+func (s *Server) Rollback() (Version, error) {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	v, err := s.cfg.Registry.Rollback()
+	if err != nil {
+		return Version{}, err
+	}
+	a, err := s.cfg.Registry.Artifact(v.Number)
+	if err != nil {
+		return Version{}, err
+	}
+	s.dep.Swap(a, v.Number)
+	return v, nil
+}
+
+// Stats snapshots the server's operational counters, including the
+// collection pipeline's drop count — ring backpressure is an operator
+// signal, not a debugger-only fact.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		ActiveVersion: s.dep.Version(),
+		Deploys:       s.cfg.Registry.Deploys(),
+		Rollbacks:     s.cfg.Registry.Rollbacks(),
+		Inferences:    s.inferences.Load(),
+		Rows:          s.rows.Load(),
+		Errors:        s.errorsSent.Load(),
+		Conns:         uint64(s.open.Load()),
+		MaxConns:      uint64(s.cfg.MaxConns),
+		ConnRejects:   s.connRejects.Load(),
+		ArenaRejects:  s.arenaRejects.Load(),
+		Collected:     s.pipeline.Collected(),
+		Processed:     s.pipeline.Processed(),
+		Dropped:       s.pipeline.Dropped(),
+		BufferLen:     uint64(s.pipeline.BufferLen()),
+		BufferCap:     uint64(s.pipeline.BufferCap()),
+	}
+	if s.cfg.Arena != nil {
+		st.ArenaLive = uint64(s.cfg.Arena.Live())
+		st.ArenaPeak = uint64(s.cfg.Arena.Peak())
+	}
+	return st
+}
+
+// ServedByVersion returns rows served per model version, as aggregated by
+// the asynchronous collection thread.
+func (s *Server) ServedByVersion() map[uint64]uint64 {
+	s.tallyMu.Lock()
+	defer s.tallyMu.Unlock()
+	out := make(map[uint64]uint64, len(s.tally))
+	for v, n := range s.tally {
+		out[v] = n
+	}
+	return out
+}
+
+// ListenAndServe listens on network ("tcp", "unix") / addr and serves
+// until Shutdown.
+func (s *Server) ListenAndServe(network, addr string) error {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until the listener is closed (by
+// Shutdown). It applies the connection limit and arena admission before
+// spawning a handler.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		if s.draining.Load() {
+			_ = c.Close()
+			continue
+		}
+		if s.open.Load() >= int64(s.cfg.MaxConns) {
+			s.connRejects.Add(1)
+			s.refuse(c, "connection limit reached")
+			continue
+		}
+		if s.cfg.Arena != nil && !s.cfg.Arena.Charge(s.cfg.ConnBytes) {
+			s.arenaRejects.Add(1)
+			s.refuse(c, "server memory reservation exhausted")
+			continue
+		}
+		s.open.Add(1)
+		s.connsMu.Lock()
+		s.conns[c] = struct{}{}
+		s.connsMu.Unlock()
+		s.wg.Add(1)
+		go s.handle(c)
+	}
+}
+
+// refuse answers an unadmitted connection with one error frame and closes
+// it, so clients see the reason instead of a bare RST.
+func (s *Server) refuse(c net.Conn, msg string) {
+	s.errorsSent.Add(1)
+	_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_, _ = c.Write(AppendFrame(nil, MsgError, []byte(msg)))
+	_ = c.Close()
+}
+
+// Shutdown gracefully drains the server: stop accepting, nudge idle
+// connections off their blocking reads, let in-flight requests finish,
+// then stop the collection pipeline. Connections still open after the
+// timeout are force-closed.
+func (s *Server) Shutdown(timeout time.Duration) {
+	s.draining.Store(true)
+	s.lnMu.Lock()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Unblock handlers parked in ReadFull waiting for the next request;
+	// a handler mid-request keeps its write deadline and finishes.
+	s.connsMu.Lock()
+	for c := range s.conns {
+		_ = c.SetReadDeadline(time.Now())
+	}
+	s.connsMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.connsMu.Lock()
+		for c := range s.conns {
+			_ = c.Close()
+		}
+		s.connsMu.Unlock()
+		<-done
+	}
+	s.pipeline.Stop()
+}
+
+// srvConn is one connection's request-scoped state. Buffers grow to the
+// deployed model's shape on the first request and are reused afterwards,
+// so the steady-state loop allocates nothing.
+type srvConn struct {
+	s       *Server
+	hdr     [HeaderSize]byte
+	payload []byte
+	resp    []byte
+	out     []byte
+	feats   []float64
+	classes []uint16
+	inst    *Instance
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer func() {
+		_ = c.Close()
+		s.connsMu.Lock()
+		delete(s.conns, c)
+		s.connsMu.Unlock()
+		s.open.Add(-1)
+		if s.cfg.Arena != nil {
+			s.cfg.Arena.Release(s.cfg.ConnBytes)
+		}
+		s.wg.Done()
+	}()
+	sc := &srvConn{s: s}
+	for {
+		if s.draining.Load() {
+			return
+		}
+		_ = c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		if _, err := io.ReadFull(c, sc.hdr[:]); err != nil {
+			return // EOF, idle timeout, or drain nudge
+		}
+		h, err := ParseHeader(sc.hdr[:])
+		if err != nil {
+			return // framing broken: the stream cannot be re-synced
+		}
+		sc.payload = growBytes(sc.payload, int(h.Length))
+		if _, err := io.ReadFull(c, sc.payload); err != nil {
+			return
+		}
+		if err := h.CheckPayload(sc.payload); err != nil {
+			return
+		}
+		typ, resp := s.dispatch(sc, h.Type, sc.payload)
+		sc.out = sc.out[:0]
+		sc.out = AppendFrame(sc.out, typ, resp)
+		_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if _, err := c.Write(sc.out); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request and returns the response (type, payload).
+// The returned payload aliases sc.resp.
+func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) {
+	switch typ {
+	case MsgInfer:
+		return s.doInfer(sc, p)
+	case MsgBatchInfer:
+		return s.doBatchInfer(sc, p)
+	case MsgDeploy:
+		kind, name, model, err := ParseDeployReq(p)
+		if err != nil {
+			return s.errorResp(sc, "bad deploy payload")
+		}
+		v, err := s.Deploy(kind, name, model)
+		if err != nil {
+			return s.errorResp(sc, fmt.Sprintf("deploy: %v", err))
+		}
+		return MsgDeploy, AppendVersionResp(sc.resp[:0], v.Number)
+	case MsgRollback:
+		v, err := s.Rollback()
+		if err != nil {
+			return s.errorResp(sc, fmt.Sprintf("rollback: %v", err))
+		}
+		return MsgRollback, AppendVersionResp(sc.resp[:0], v.Number)
+	case MsgStats:
+		return MsgStats, AppendStats(sc.resp[:0], s.Stats())
+	case MsgHealth:
+		snap := s.dep.Load()
+		if snap == nil {
+			return MsgHealth, AppendHealthResp(sc.resp[:0], false, 0, 0)
+		}
+		ok := !s.draining.Load()
+		return MsgHealth, AppendHealthResp(sc.resp[:0], ok, snap.Version, snap.Model.InDim)
+	default:
+		return s.errorResp(sc, fmt.Sprintf("unknown message type %d", typ))
+	}
+}
+
+// instance returns sc's private model instance for the current snapshot,
+// re-instantiating only when the deployed version changed — the cold half
+// of a hot swap, paid once per connection per deploy.
+func (sc *srvConn) instance(snap *Snapshot[*Artifact]) (*Instance, error) {
+	if sc.inst == nil || sc.inst.Version() != snap.Version {
+		inst, err := snap.Model.Instantiate()
+		if err != nil {
+			return nil, err
+		}
+		sc.inst = inst
+	}
+	return sc.inst, nil
+}
+
+func (s *Server) doInfer(sc *srvConn, p []byte) (MsgType, []byte) {
+	snap := s.dep.Load()
+	if snap == nil {
+		return s.errorResp(sc, "no model deployed")
+	}
+	inst, err := sc.instance(snap)
+	if err != nil {
+		return s.errorResp(sc, fmt.Sprintf("instantiate v%d: %v", snap.Version, err))
+	}
+	if len(sc.feats) < inst.InDim() {
+		sc.feats = make([]float64, inst.InDim())
+	}
+	n, err := ParseInferReq(p, sc.feats)
+	if err != nil {
+		return s.errorResp(sc, "bad infer payload")
+	}
+	if n != inst.InDim() {
+		return s.errorResp(sc, fmt.Sprintf("feature count %d, model wants %d", n, inst.InDim()))
+	}
+	class := inst.Predict(sc.feats[:n])
+	s.inferences.Add(1)
+	s.rows.Add(1)
+	s.pipeline.Collect(Sample{Version: inst.Version(), Class: int32(class), Rows: 1})
+	return MsgInfer, AppendInferResp(sc.resp[:0], uint16(class), inst.Version())
+}
+
+func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
+	snap := s.dep.Load()
+	if snap == nil {
+		return s.errorResp(sc, "no model deployed")
+	}
+	inst, err := sc.instance(snap)
+	if err != nil {
+		return s.errorResp(sc, fmt.Sprintf("instantiate v%d: %v", snap.Version, err))
+	}
+	// Size the decode buffer from the wire header's own claim, bounded by
+	// MaxBatchRows×InDim; ParseBatchInferReq re-validates everything.
+	if need := batchFloats(p, inst.InDim()); need > len(sc.feats) {
+		sc.feats = make([]float64, need)
+	}
+	rows, nfeat, err := ParseBatchInferReq(p, sc.feats)
+	if err != nil {
+		return s.errorResp(sc, "bad batch payload")
+	}
+	if nfeat != inst.InDim() {
+		return s.errorResp(sc, fmt.Sprintf("feature count %d, model wants %d", nfeat, inst.InDim()))
+	}
+	if len(sc.classes) < rows {
+		sc.classes = make([]uint16, rows)
+	}
+	for i := 0; i < rows; i++ {
+		sc.classes[i] = uint16(inst.Predict(sc.feats[i*nfeat : (i+1)*nfeat]))
+	}
+	s.inferences.Add(1)
+	s.rows.Add(uint64(rows))
+	s.pipeline.Collect(Sample{Version: inst.Version(), Class: -1, Rows: int32(rows)})
+	return MsgBatchInfer, AppendBatchInferResp(sc.resp[:0], sc.classes[:rows], inst.Version())
+}
+
+// batchFloats reads the rows×nfeat the batch header claims, clamped to the
+// protocol bounds, so a lying header cannot size an allocation beyond
+// MaxBatchRows vectors of the deployed model's width.
+func batchFloats(p []byte, inDim int) int {
+	if len(p) < 6 {
+		return 0
+	}
+	rows := int(uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24)
+	if rows > MaxBatchRows {
+		rows = MaxBatchRows
+	}
+	return rows * inDim
+}
+
+func (s *Server) errorResp(sc *srvConn, msg string) (MsgType, []byte) {
+	s.errorsSent.Add(1)
+	return MsgError, append(sc.resp[:0], msg...)
+}
+
+func growBytes(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

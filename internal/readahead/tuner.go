@@ -7,6 +7,7 @@ import (
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/features"
+	"repro/internal/mserve"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -43,6 +44,7 @@ type Decision struct {
 	Class   int
 	Sectors int
 	Events  uint64 // tracepoints in the decided window
+	Version uint64 // model version that made the call; 0 for a static model
 }
 
 // TunerConfig parameterizes the closed loop.
@@ -64,6 +66,7 @@ type TunerConfig struct {
 type Tuner struct {
 	dev      *blockdev.Device
 	model    core.Classifier
+	deploy   *mserve.Deployment[core.Classifier]
 	norm     features.Normalizer
 	policy   Policy
 	window   time.Duration
@@ -116,6 +119,34 @@ func NewTuner(dev *blockdev.Device, model core.Classifier, norm features.Normali
 	return t, nil
 }
 
+// NewDeployedTuner builds a tuner whose classifier comes from a hot-swap
+// deployment handle instead of a fixed model: every decision window
+// dereferences the handle, so a Swap (retrain-and-redeploy, or a
+// rollback) takes effect at the next tick without pausing collection.
+// The deployment may be empty at construction time; ticks before the
+// first Swap keep the device's current readahead untouched.
+func NewDeployedTuner(dev *blockdev.Device, deploy *mserve.Deployment[core.Classifier], norm features.Normalizer, cfg TunerConfig) (*Tuner, error) {
+	if deploy == nil {
+		return nil, errors.New("readahead: nil deployment")
+	}
+	// stub satisfies NewTuner's nil-model check; the deployment handle
+	// takes precedence everywhere a model is dereferenced.
+	t, err := NewTuner(dev, stubClassifier{}, norm, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.model = nil
+	t.deploy = deploy
+	return t, nil
+}
+
+// stubClassifier exists only to pass construction-time validation in
+// NewDeployedTuner; it is discarded before the tuner is returned.
+type stubClassifier struct{}
+
+func (stubClassifier) Predict([]float64) int { return 0 }
+func (stubClassifier) Name() string          { return "stub" }
+
 // Hook returns the inline data-collection function to register on the
 // tracer. It costs one lock-free ring push per event.
 func (t *Tuner) Hook() trace.Hook {
@@ -152,11 +183,19 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		return
 	}
 	t.nextTick = now + t.window
+	model, version := t.model, uint64(0)
+	if t.deploy != nil {
+		snap := t.deploy.Load()
+		if snap == nil {
+			return // nothing deployed yet; leave the device alone
+		}
+		model, version = snap.Model, snap.Version
+	}
 	events := t.ext.Events()
 	raw := t.ext.Emit(t.dev.ReadaheadSectors())
 	norm := t.norm
 	norm.ApplyInto(t.featBuf, raw)
-	class := t.model.Predict(t.featBuf)
+	class := model.Predict(t.featBuf)
 	sectors := t.policy[class%len(t.policy)]
 	t.dev.SetReadahead(sectors)
 	t.decisions = append(t.decisions, Decision{
@@ -164,6 +203,7 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		Class:   class,
 		Sectors: sectors,
 		Events:  events,
+		Version: version,
 	})
 }
 
@@ -176,5 +216,16 @@ func (t *Tuner) Dropped() uint64 { return t.pipeline.Dropped() }
 // Collected returns how many samples the hook accepted.
 func (t *Tuner) Collected() uint64 { return t.pipeline.Collected() }
 
-// Model returns the deployed classifier.
-func (t *Tuner) Model() core.Classifier { return t.model }
+// Model returns the deployed classifier: the fixed model for NewTuner,
+// or the current snapshot (nil before the first Swap) for
+// NewDeployedTuner.
+func (t *Tuner) Model() core.Classifier {
+	if t.deploy != nil {
+		snap := t.deploy.Load()
+		if snap == nil {
+			return nil
+		}
+		return snap.Model
+	}
+	return t.model
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the serving subsystem: build
+# the daemon and bench, start kml-served on a unix socket with the
+# checked-in trained model, drive 1000 batched inferences, check the
+# stats endpoint, and verify a clean SIGTERM drain. CI runs this after
+# the race tests; it is also the quickest way to see the serving path
+# work locally.
+set -eu
+
+cd "$(dirname "$0")/.."
+TMP="$(mktemp -d)"
+SOCK="$TMP/kml.sock"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+echo "== build"
+go build -o "$TMP/kml-served" ./cmd/kml-served
+go build -o "$TMP/kml-serve-bench" ./cmd/kml-serve-bench
+
+echo "== start daemon"
+"$TMP/kml-served" \
+    -addr "$SOCK" \
+    -registry "$TMP/registry" \
+    -deploy testdata/models/readahead.kml \
+    -kind nn -name readahead-nn \
+    >"$TMP/served.log" 2>&1 &
+PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "daemon never created socket" >&2
+        cat "$TMP/served.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "== bench (1000 batched inferences)"
+"$TMP/kml-serve-bench" -addr "$SOCK" -n 1000 -batch 50 -conns 2 | tee "$TMP/bench.out"
+grep -q "throughput_ips=" "$TMP/bench.out"
+TPUT=$(sed -n 's/^throughput_ips=//p' "$TMP/bench.out")
+case "$TPUT" in
+    ''|0) echo "zero throughput" >&2; exit 1 ;;
+esac
+
+echo "== status"
+"$TMP/kml-served" -addr "$SOCK" -status | tee "$TMP/status.out"
+grep -q "^active_version      1$" "$TMP/status.out"
+grep -q "^dropped             0$" "$TMP/status.out"
+
+echo "== graceful shutdown"
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 150 ]; then
+        echo "daemon did not exit after SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+STATUS=0
+wait "$PID" || STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "daemon exited with status $STATUS" >&2
+    cat "$TMP/served.log" >&2
+    exit 1
+fi
+grep -q "draining" "$TMP/served.log"
+
+echo "serve smoke: OK (throughput_ips=$TPUT)"
