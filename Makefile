@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet test race fuzz serve-smoke ci clean
+.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke overhead-check ci clean
 
 all: build
 
@@ -30,13 +30,25 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRingPushPop -fuzztime=$(FUZZTIME) ./internal/ringbuf/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
+	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 
 # End-to-end smoke of the serving subsystem: daemon + deploy + bench +
 # graceful shutdown on a unix socket.
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
-ci: build vet race fuzz serve-smoke kml-vet
+# End-to-end smoke of the observability layer: debug HTTP listener,
+# /metrics scrape, MsgMetrics wire surface, flight-recorder decisions.
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
+
+# The telemetry overhead self-check in isolation: one counter add plus
+# one histogram observation must cost under the budget in
+# internal/telemetry/overhead_test.go, or the build fails.
+overhead-check:
+	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
+
+ci: build vet race fuzz serve-smoke telemetry-smoke overhead-check kml-vet
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/memutil"
 	"repro/internal/mserve"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		maxConns  = flag.Int("max-conns", 64, "concurrent connection limit")
 		reserveMB = flag.Int("reserve-mb", 0, "memory reservation for admission control (0 = unlimited)")
 		status    = flag.Bool("status", false, "query a running daemon's stats and exit")
+		debugAddr = flag.String("debug-addr", "", "optional HTTP debug listener (host:port) serving /metrics, expvar, pprof")
 	)
 	flag.Parse()
 
@@ -70,6 +73,16 @@ func main() {
 			fatal(fmt.Errorf("deploy %s: %w", *deploy, err))
 		}
 		fmt.Printf("deployed %s as version %d\n", *deploy, v.Number)
+	}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(fmt.Errorf("debug listener: %w", err))
+		}
+		// Print the resolved address so `:0` works in scripts.
+		fmt.Printf("debug listening on http://%s\n", dln.Addr())
+		go func() { _ = http.Serve(dln, telemetry.DebugMux(srv.MetricsRegistry())) }()
 	}
 
 	if *network == "unix" {
@@ -130,6 +143,25 @@ func printStatus(network, addr string) int {
 	fmt.Printf("buffer              %d/%d\n", st.BufferLen, st.BufferCap)
 	fmt.Printf("arena_live_bytes    %d\n", st.ArenaLive)
 	fmt.Printf("arena_peak_bytes    %d\n", st.ArenaPeak)
+
+	// The richer telemetry surface: latency percentiles per request type
+	// and the flight recorder's last served decisions.
+	snap, err := cl.Metrics()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, m := range snap.Metrics {
+		if m.Kind != mserve.MetricHistogram || m.Hist.Count == 0 {
+			continue
+		}
+		fmt.Printf("%s count=%d p50=%dns p95=%dns p99=%dns\n",
+			m.Name, m.Hist.Count,
+			m.Hist.Quantile(0.50), m.Hist.Quantile(0.95), m.Hist.Quantile(0.99))
+	}
+	for _, d := range snap.Decisions {
+		fmt.Printf("decision t=%d class=%d rows=%d v%d\n", d.TimeNanos, d.Class, d.Rows, d.Version)
+	}
 	return 0
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/memutil"
+	"repro/internal/telemetry"
 )
 
 type sample struct {
@@ -276,5 +277,83 @@ func BenchmarkCollect(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Collect(sample{inode: uint64(i), offset: int64(i)})
+	}
+}
+
+// TestPipelineMetrics pins the training-thread instrumentation: every
+// handler invocation lands one observation in the iteration-latency and
+// batch-size histograms, and the registered gauges mirror the
+// pipeline's own counters.
+func TestPipelineMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pm := NewPipelineMetrics(reg, "test_pipeline")
+	p, err := NewPipeline[int](
+		Config{BufferCapacity: 64, BatchSize: 8, Metrics: pm},
+		func(batch []int, _ Mode) {},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RegisterMetrics(reg, "test_ring")
+	p.SetMode(ModeTraining)
+	const n = 40
+	for i := 0; i < n; i++ {
+		if !p.Collect(i) {
+			t.Fatalf("Collect(%d) rejected", i)
+		}
+	}
+	p.Flush()
+
+	iters := pm.Iterations.Load()
+	if iters == 0 {
+		t.Fatal("no training iterations observed")
+	}
+	if got := pm.IterNanos.Count(); got != iters {
+		t.Errorf("iter_ns count %d != iterations %d", got, iters)
+	}
+	batches := pm.DrainBatch.Snapshot()
+	if batches.Count != iters || batches.Sum != n {
+		t.Errorf("drain_batch count=%d sum=%d, want count=%d sum=%d",
+			batches.Count, batches.Sum, iters, n)
+	}
+
+	byName := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		if s.Kind == telemetry.KindFunc {
+			byName[s.Name] = s.Value
+		}
+	}
+	if byName["test_ring_collected"] != n || byName["test_ring_processed"] != n {
+		t.Errorf("gauges collected=%d processed=%d, want %d",
+			byName["test_ring_collected"], byName["test_ring_processed"], n)
+	}
+	if byName["test_ring_dropped"] != 0 || byName["test_ring_buffer_len"] != 0 {
+		t.Errorf("gauges dropped=%d buffer_len=%d, want 0",
+			byName["test_ring_dropped"], byName["test_ring_buffer_len"])
+	}
+	if byName["test_ring_buffer_cap"] != 64 {
+		t.Errorf("buffer_cap gauge = %d, want 64", byName["test_ring_buffer_cap"])
+	}
+}
+
+// TestPipelineMetricsOffModeSkipsHandler: ModeOff batches are discarded
+// without counting as training iterations.
+func TestPipelineMetricsOffMode(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	pm := NewPipelineMetrics(reg, "off_pipeline")
+	p, err := NewPipeline[int](
+		Config{BufferCapacity: 16, Metrics: pm},
+		func(batch []int, _ Mode) { t.Error("handler ran in ModeOff") },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Collect(1)
+	p.Flush()
+	if pm.Iterations.Load() != 0 {
+		t.Fatalf("iterations = %d in ModeOff, want 0", pm.Iterations.Load())
+	}
+	if p.Processed() != 1 {
+		t.Fatalf("processed = %d, want 1 (discarded)", p.Processed())
 	}
 }

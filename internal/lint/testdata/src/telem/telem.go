@@ -1,0 +1,58 @@
+// Package telem mirrors the internal/telemetry hot primitives so the
+// lint fixture pins the contract kml-vet enforces on them: the real
+// Counter.Add and Histogram.Observe shapes must stay clean (zero
+// diagnostics — a false positive here means the telemetry package can
+// no longer be kernelspace), while allocating or float-using variants
+// are planted violations.
+//
+//kml:kernelspace
+package telem
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets matches telemetry.NumBuckets.
+const NumBuckets = 64
+
+// Counter is the fixture twin of telemetry.Counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Add must stay clean: one atomic add, no allocation, no floats.
+//
+//kml:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Histogram is the fixture twin of telemetry.Histogram.
+type Histogram struct {
+	sum     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe must stay clean: clamp, atomic sum, log2 bucket index.
+//
+//kml:hotpath
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)&(NumBuckets-1)].Add(1)
+}
+
+// ObserveTagged is the planted regression: growing a tag slice on the
+// hot path allocates.
+//
+//kml:hotpath
+func (h *Histogram) ObserveTagged(ns int64, tags []uint64, tag uint64) []uint64 {
+	h.Observe(ns)
+	return append(tags, tag) // want:noalloc
+}
+
+// MeanSeconds is the planted float violation: quantile/mean math belongs
+// in the userspace snapshot, not in a kernelspace file.
+func MeanSeconds(sum, count uint64) float64 { // want:nofloat
+	return float64(sum) / float64(count) / 1e9 // want:nofloat
+}

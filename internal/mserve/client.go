@@ -146,6 +146,17 @@ func (cl *Client) Stats() (Stats, error) {
 	return ParseStats(resp)
 }
 
+// Metrics fetches the server's telemetry snapshot: every registered
+// metric (histograms with populated buckets) plus the flight recorder's
+// retained decisions.
+func (cl *Client) Metrics() (MetricsSnapshot, error) {
+	_, resp, err := cl.do(MsgMetrics, nil)
+	if err != nil {
+		return MetricsSnapshot{}, err
+	}
+	return ParseMetrics(resp)
+}
+
 // Health reports whether the server is serving, the active version, and
 // the deployed model's input width.
 func (cl *Client) Health() (ok bool, version uint64, inDim int, err error) {

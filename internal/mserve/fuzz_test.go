@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // FuzzFrameDecode drives the wire-frame decoder with hostile input. The
@@ -68,5 +70,57 @@ func FuzzFrameDecode(f *testing.F) {
 		_, _ = ParseVersionResp(b)
 		_, _ = ParseStats(b)
 		_, _, _, _ = ParseHealthResp(b)
+	})
+}
+
+// FuzzMetricsDecode drives the MsgMetrics parser with hostile input and
+// pins the canonical-encoding invariant: any payload the parser accepts
+// must re-encode to exactly the consumed bytes, and no input may panic,
+// over-read, or size an allocation from an unvalidated count.
+func FuzzMetricsDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendMetrics(nil, MetricsSnapshot{}))
+	f.Add(AppendMetrics(nil, MetricsSnapshot{
+		Metrics: []Metric{
+			{Name: "c", Kind: MetricCounter, Value: 7},
+			{Name: "g", Kind: MetricGauge, Value: -7},
+		},
+		Decisions: []MetricsDecision{{TimeNanos: 1, Version: 2, Class: -1, Rows: 3, Sectors: 4}},
+	}))
+	var h telemetry.Histogram
+	for _, ns := range []int64{0, 1, 500, 1 << 40} {
+		h.Observe(ns)
+	}
+	f.Add(AppendMetrics(nil, MetricsSnapshot{Metrics: []Metric{
+		{Name: "h", Kind: MetricHistogram, Hist: h.Snapshot()},
+		{Name: "empty", Kind: MetricHistogram},
+	}}))
+	f.Add([]byte{0xFF, 0xFF})                               // lying metric count
+	f.Add(append(AppendMetrics(nil, MetricsSnapshot{}), 1)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		snap, err := ParseMetrics(b)
+		if err != nil {
+			return
+		}
+		if len(snap.Metrics) > MaxMetrics || len(snap.Decisions) > MaxDecisions {
+			t.Fatalf("parsed snapshot exceeds wire limits: %d metrics, %d decisions",
+				len(snap.Metrics), len(snap.Decisions))
+		}
+		for _, m := range snap.Metrics {
+			if m.Kind == MetricHistogram {
+				var sum uint64
+				for _, c := range m.Hist.Buckets {
+					sum += c
+				}
+				if sum != m.Hist.Count {
+					t.Fatalf("histogram %q count %d != bucket sum %d", m.Name, m.Hist.Count, sum)
+				}
+			}
+		}
+		re := AppendMetrics(nil, snap)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", b, re)
+		}
 	})
 }

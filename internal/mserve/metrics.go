@@ -1,0 +1,217 @@
+// MsgMetrics payload: the wire form of a telemetry snapshot. Unlike
+// Stats (a fixed vector of u64s, frozen for byte-compatibility) the
+// metrics payload is self-describing — each entry carries its name and
+// kind — so new instrumentation reaches `kml-served -status` without a
+// protocol revision.
+//
+// Layout (all integers little-endian):
+//
+//	u16 nmetrics                      (≤ MaxMetrics)
+//	repeated nmetrics times:
+//	  u8  kind                        (MetricCounter|MetricGauge|MetricHistogram)
+//	  u8  namelen                     (1..MaxMetricName)
+//	  namelen bytes of name
+//	  kind counter/gauge: u64 value   (gauge is int64 bit pattern)
+//	  kind histogram:
+//	    u64 sum
+//	    u8  nbuckets                  (≤ telemetry.NumBuckets)
+//	    repeated nbuckets times:
+//	      u8  index                   (strictly increasing, < NumBuckets)
+//	      u64 count                   (nonzero; total count is derived)
+//	u16 ndecisions                    (≤ MaxDecisions)
+//	repeated ndecisions times:
+//	  u64 time_ns | u64 version | u32 class (int32 bits) | u32 rows | u32 sectors
+//
+// The encoding is canonical: histograms carry only their populated
+// buckets in index order, so AppendMetrics(ParseMetrics(b)) == b for
+// every accepted payload — the invariant FuzzMetricsDecode pins.
+package mserve
+
+import (
+	"encoding/binary"
+
+	"repro/internal/telemetry"
+)
+
+// Metric kinds on the wire. Func gauges flatten to MetricGauge: the
+// distinction is a registry implementation detail, not an operator fact.
+const (
+	MetricCounter   = 0
+	MetricGauge     = 1
+	MetricHistogram = 2
+)
+
+// Wire limits. A maximal payload (512 full histograms + 1024 decisions)
+// is ~330 KB, under the 1 MiB frame cap.
+const (
+	MaxMetrics    = 512
+	MaxMetricName = 128
+	MaxDecisions  = 1024
+)
+
+// Metric is one named metric in a snapshot.
+type Metric struct {
+	Name  string
+	Kind  uint8
+	Value int64 // counter/gauge value; unused for histograms
+	Hist  telemetry.HistogramSnapshot
+}
+
+// MetricsDecision is one flight-recorder entry: a served or applied
+// model decision. Sectors is zero when the recorder belongs to a server
+// (no device); the readahead tuner fills it.
+type MetricsDecision struct {
+	TimeNanos uint64
+	Version   uint64
+	Class     int32
+	Rows      uint32
+	Sectors   uint32
+}
+
+// MetricsSnapshot is the decoded MsgMetrics payload.
+type MetricsSnapshot struct {
+	Metrics   []Metric
+	Decisions []MetricsDecision
+}
+
+// AppendMetrics appends the canonical wire form of snap. Entries beyond
+// the wire limits are dropped (metrics past MaxMetrics, decisions past
+// MaxDecisions, names truncated to MaxMetricName) — the registry and
+// flight recorder are sized far below the caps, so truncation only
+// guards against a hostile in-process caller.
+func AppendMetrics(dst []byte, snap MetricsSnapshot) []byte {
+	metrics := snap.Metrics
+	if len(metrics) > MaxMetrics {
+		metrics = metrics[:MaxMetrics]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(metrics)))
+	for _, m := range metrics {
+		name := m.Name
+		if len(name) > MaxMetricName {
+			name = name[:MaxMetricName]
+		}
+		if name == "" {
+			name = "?"
+		}
+		dst = append(dst, m.Kind)
+		dst = append(dst, byte(len(name)))
+		dst = append(dst, name...)
+		if m.Kind == MetricHistogram {
+			dst = binary.LittleEndian.AppendUint64(dst, m.Hist.Sum)
+			n := 0
+			for _, c := range m.Hist.Buckets {
+				if c != 0 {
+					n++
+				}
+			}
+			dst = append(dst, byte(n))
+			for i, c := range m.Hist.Buckets {
+				if c != 0 {
+					dst = append(dst, byte(i))
+					dst = binary.LittleEndian.AppendUint64(dst, c)
+				}
+			}
+		} else {
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(m.Value))
+		}
+	}
+	decisions := snap.Decisions
+	if len(decisions) > MaxDecisions {
+		decisions = decisions[:MaxDecisions]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(decisions)))
+	for _, d := range decisions {
+		dst = binary.LittleEndian.AppendUint64(dst, d.TimeNanos)
+		dst = binary.LittleEndian.AppendUint64(dst, d.Version)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(d.Class))
+		dst = binary.LittleEndian.AppendUint32(dst, d.Rows)
+		dst = binary.LittleEndian.AppendUint32(dst, d.Sectors)
+	}
+	return dst
+}
+
+// ParseMetrics decodes a metrics payload, rejecting any violation of the
+// canonical form (limits exceeded, zero or out-of-order histogram
+// buckets, short or trailing bytes) with ErrBadMessage.
+func ParseMetrics(p []byte) (MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	if len(p) < 2 {
+		return snap, ErrBadMessage
+	}
+	nm := int(binary.LittleEndian.Uint16(p))
+	if nm > MaxMetrics {
+		return snap, ErrBadMessage
+	}
+	off := 2
+	if nm > 0 {
+		snap.Metrics = make([]Metric, 0, nm)
+	}
+	for i := 0; i < nm; i++ {
+		if len(p)-off < 2 {
+			return MetricsSnapshot{}, ErrBadMessage
+		}
+		kind := p[off]
+		nameLen := int(p[off+1])
+		off += 2
+		if kind > MetricHistogram || nameLen == 0 || nameLen > MaxMetricName {
+			return MetricsSnapshot{}, ErrBadMessage
+		}
+		if len(p)-off < nameLen {
+			return MetricsSnapshot{}, ErrBadMessage
+		}
+		m := Metric{Name: string(p[off : off+nameLen]), Kind: kind}
+		off += nameLen
+		if kind == MetricHistogram {
+			if len(p)-off < 9 {
+				return MetricsSnapshot{}, ErrBadMessage
+			}
+			m.Hist.Sum = binary.LittleEndian.Uint64(p[off:])
+			nb := int(p[off+8])
+			off += 9
+			if nb > telemetry.NumBuckets || len(p)-off < 9*nb {
+				return MetricsSnapshot{}, ErrBadMessage
+			}
+			prev := -1
+			for j := 0; j < nb; j++ {
+				idx := int(p[off])
+				count := binary.LittleEndian.Uint64(p[off+1:])
+				off += 9
+				if idx <= prev || idx >= telemetry.NumBuckets || count == 0 {
+					return MetricsSnapshot{}, ErrBadMessage
+				}
+				prev = idx
+				m.Hist.Buckets[idx] = count
+				m.Hist.Count += count
+			}
+		} else {
+			if len(p)-off < 8 {
+				return MetricsSnapshot{}, ErrBadMessage
+			}
+			m.Value = int64(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	if len(p)-off < 2 {
+		return MetricsSnapshot{}, ErrBadMessage
+	}
+	nd := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if nd > MaxDecisions || len(p)-off != 28*nd {
+		return MetricsSnapshot{}, ErrBadMessage
+	}
+	if nd > 0 {
+		snap.Decisions = make([]MetricsDecision, 0, nd)
+	}
+	for i := 0; i < nd; i++ {
+		snap.Decisions = append(snap.Decisions, MetricsDecision{
+			TimeNanos: binary.LittleEndian.Uint64(p[off:]),
+			Version:   binary.LittleEndian.Uint64(p[off+8:]),
+			Class:     int32(binary.LittleEndian.Uint32(p[off+16:])),
+			Rows:      binary.LittleEndian.Uint32(p[off+20:]),
+			Sectors:   binary.LittleEndian.Uint32(p[off+24:]),
+		})
+		off += 28
+	}
+	return snap, nil
+}

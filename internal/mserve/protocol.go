@@ -33,6 +33,10 @@ const (
 	MsgStats MsgType = 5
 	// MsgHealth: empty request; response u8 ok | u64 version | u16 indim.
 	MsgHealth MsgType = 6
+	// MsgMetrics: empty request; response is the telemetry snapshot
+	// (see AppendMetrics in metrics.go for the layout). Stats stays
+	// byte-compatible; Metrics is the richer, growable surface.
+	MsgMetrics MsgType = 7
 	// MsgError: server→client only; payload is a UTF-8 message.
 	MsgError MsgType = 0x7F
 )

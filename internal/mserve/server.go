@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/memutil"
+	"repro/internal/telemetry"
 )
 
 // Sample is one served request recorded into the server's collection
@@ -97,7 +98,26 @@ type Server struct {
 	errorsSent   atomic.Uint64
 	connRejects  atomic.Uint64
 	arenaRejects atomic.Uint64
+
+	reg      *telemetry.Registry
+	reqNanos [8]*telemetry.Histogram // indexed by request MsgType
+	flight   *telemetry.FlightRecorder[MetricsDecision]
 }
+
+// reqHistNames maps request MsgTypes to their latency-histogram names.
+// Index 0 and MsgError have no histogram; the dispatch timer skips them.
+var reqHistNames = [8]string{
+	MsgInfer:      "mserve_infer_ns",
+	MsgBatchInfer: "mserve_batch_infer_ns",
+	MsgDeploy:     "mserve_deploy_ns",
+	MsgRollback:   "mserve_rollback_ns",
+	MsgStats:      "mserve_stats_ns",
+	MsgHealth:     "mserve_health_ns",
+	MsgMetrics:    "mserve_metrics_ns",
+}
+
+// flightDepth is how many served decisions the flight recorder retains.
+const flightDepth = 64
 
 // NewServer builds a server over cfg.Registry and, if the registry has an
 // active version, loads it for serving. The collection pipeline is started
@@ -108,28 +128,54 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		dep:   &Deployment[*Artifact]{},
-		tally: make(map[uint64]uint64),
-		conns: make(map[net.Conn]struct{}),
+		cfg:    cfg,
+		dep:    &Deployment[*Artifact]{},
+		tally:  make(map[uint64]uint64),
+		conns:  make(map[net.Conn]struct{}),
+		reg:    telemetry.NewRegistry(),
+		flight: telemetry.NewFlightRecorder[MetricsDecision](flightDepth),
+	}
+	for typ, name := range reqHistNames {
+		if name != "" {
+			s.reqNanos[typ] = s.reg.Histogram(name)
+		}
 	}
 	p, err := core.NewPipeline[Sample](
 		core.Config{
 			BufferCapacity: cfg.CollectCapacity,
 			Arena:          cfg.Arena,
 			SampleBytes:    16,
+			Metrics:        core.NewPipelineMetrics(s.reg, "mserve_pipeline"),
 		},
 		func(batch []Sample, _ core.Mode) {
+			// The flight recorder is fed here, on the asynchronous
+			// collection thread, so the request handlers pay only the
+			// ring push they already paid.
+			now := uint64(time.Now().UnixNano())
 			s.tallyMu.Lock()
 			for _, smp := range batch {
 				s.tally[smp.Version] += uint64(smp.Rows)
 			}
 			s.tallyMu.Unlock()
+			for _, smp := range batch {
+				s.flight.Record(MetricsDecision{
+					TimeNanos: now,
+					Version:   smp.Version,
+					Class:     smp.Class,
+					Rows:      uint32(smp.Rows),
+				})
+			}
 		},
 	)
 	if err != nil {
 		return nil, err
 	}
+	p.RegisterMetrics(s.reg, "mserve_pipeline")
+	s.reg.Func("mserve_active_version", func() int64 { return int64(s.dep.Version()) })
+	s.reg.Func("mserve_conns", func() int64 { return s.open.Load() })
+	s.reg.Func("mserve_inferences", func() int64 { return int64(s.inferences.Load()) })
+	s.reg.Func("mserve_rows", func() int64 { return int64(s.rows.Load()) })
+	s.reg.Func("mserve_errors", func() int64 { return int64(s.errorsSent.Load()) })
 	p.SetMode(core.ModeTraining)
 	if err := p.Start(); err != nil {
 		return nil, err
@@ -209,6 +255,35 @@ func (s *Server) Stats() Stats {
 		st.ArenaPeak = uint64(s.cfg.Arena.Peak())
 	}
 	return st
+}
+
+// MetricsRegistry exposes the server's telemetry registry so an
+// embedding process (kml-served) can hang a debug HTTP listener or
+// extra instrumentation off the same namespace.
+func (s *Server) MetricsRegistry() *telemetry.Registry { return s.reg }
+
+// Metrics snapshots the server's telemetry — every registered metric
+// plus the flight recorder's retained decisions — in the form MsgMetrics
+// serializes.
+func (s *Server) Metrics() MetricsSnapshot {
+	samples := s.reg.Snapshot()
+	snap := MetricsSnapshot{Metrics: make([]Metric, 0, len(samples))}
+	for _, smp := range samples {
+		m := Metric{Name: smp.Name, Value: smp.Value}
+		switch smp.Kind {
+		case telemetry.KindCounter:
+			m.Kind = MetricCounter
+		case telemetry.KindHistogram:
+			m.Kind = MetricHistogram
+			m.Hist = smp.Hist
+			m.Value = 0
+		default: // gauges and func gauges flatten to gauge
+			m.Kind = MetricGauge
+		}
+		snap.Metrics = append(snap.Metrics, m)
+	}
+	snap.Decisions = s.flight.Snapshot()
+	return snap
 }
 
 // ServedByVersion returns rows served per model version, as aggregated by
@@ -363,7 +438,11 @@ func (s *Server) handle(c net.Conn) {
 		if err := h.CheckPayload(sc.payload); err != nil {
 			return
 		}
+		start := time.Now()
 		typ, resp := s.dispatch(sc, h.Type, sc.payload)
+		if i := int(h.Type); i < len(s.reqNanos) && s.reqNanos[i] != nil {
+			s.reqNanos[i].Observe(time.Since(start).Nanoseconds())
+		}
 		sc.out = sc.out[:0]
 		sc.out = AppendFrame(sc.out, typ, resp)
 		_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -399,6 +478,8 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 		return MsgRollback, AppendVersionResp(sc.resp[:0], v.Number)
 	case MsgStats:
 		return MsgStats, AppendStats(sc.resp[:0], s.Stats())
+	case MsgMetrics:
+		return MsgMetrics, AppendMetrics(sc.resp[:0], s.Metrics())
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {

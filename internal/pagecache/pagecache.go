@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -107,6 +108,38 @@ type Stats struct {
 	WaitTime     time.Duration
 }
 
+// Metrics is the cache's always-on telemetry: atomic counters mirroring
+// the hit/miss/speculation tallies in Stats (readable concurrently from
+// a telemetry snapshot, unlike the plain Stats struct) plus a histogram
+// of readahead window sizes in pages — the distribution the tuner's
+// per-class policy is actually shifting.
+type Metrics struct {
+	Hits         *telemetry.Counter
+	Misses       *telemetry.Counter
+	Inserted     *telemetry.Counter
+	SpecInserted *telemetry.Counter
+	SpecUsed     *telemetry.Counter
+	Writebacks   *telemetry.Counter
+	// WindowPages observes every readahead window the engine sizes
+	// (synchronous and asynchronous), in pages.
+	WindowPages *telemetry.Histogram
+}
+
+// NewMetrics registers a cache's metrics under prefix: <prefix>_hits,
+// _misses, _inserted, _spec_inserted, _spec_used, _writebacks and the
+// <prefix>_window_pages histogram.
+func NewMetrics(reg *telemetry.Registry, prefix string) *Metrics {
+	return &Metrics{
+		Hits:         reg.Counter(prefix + "_hits"),
+		Misses:       reg.Counter(prefix + "_misses"),
+		Inserted:     reg.Counter(prefix + "_inserted"),
+		SpecInserted: reg.Counter(prefix + "_spec_inserted"),
+		SpecUsed:     reg.Counter(prefix + "_spec_used"),
+		Writebacks:   reg.Counter(prefix + "_writebacks"),
+		WindowPages:  reg.Histogram(prefix + "_window_pages"),
+	}
+}
+
 // raState is the per-file readahead state (struct file_ra_state analogue).
 type raState struct {
 	nextSeq  int64 // page index one past the previous request (sequential test)
@@ -134,7 +167,8 @@ type Cache struct {
 	dirtyFIFO  []pageKey
 	dirtyCount int
 
-	stats Stats
+	stats   Stats
+	metrics *Metrics
 }
 
 // New returns a page cache over dev, emitting tracepoints through tracer
@@ -153,6 +187,20 @@ func New(cfg Config, clk *clock.Virtual, dev *blockdev.Device, tracer *trace.Tra
 		fileRA:    make(map[FileID]int),
 		hints:     make(map[FileID]Hint),
 		filePages: make(map[FileID]int64),
+	}
+}
+
+// SetMetrics attaches always-on telemetry to the cache; nil detaches.
+// The counters accumulate alongside Stats from the moment of
+// attachment (they are not backfilled).
+func (c *Cache) SetMetrics(m *Metrics) { c.metrics = m }
+
+// countWriteback adds n to both the Stats tally and, when attached, the
+// telemetry counter — every writeback site funnels through here.
+func (c *Cache) countWriteback(n uint64) {
+	c.stats.Writebacks += n
+	if c.metrics != nil {
+		c.metrics.Writebacks.Add(n)
 	}
 }
 
@@ -342,6 +390,9 @@ func (c *Cache) missFetch(f FileID, st *raState, start int64, need int, seq bool
 	}
 	st.start = start
 	st.frontier = start + int64(window)
+	if c.metrics != nil {
+		c.metrics.WindowPages.Observe(int64(window))
+	}
 
 	// Partition the window into needed-and-uncached vs speculative-and-
 	// uncached pages; pages already cached are skipped (never re-fetched).
@@ -394,6 +445,9 @@ func (c *Cache) missFetch(f FileID, st *raState, start int64, need int, seq bool
 			// insertions, and every needed page must land in exactly one
 			// of hits or misses.
 			c.stats.Misses++
+			if c.metrics != nil {
+				c.metrics.Misses.Inc()
+			}
 			ready = fgReady
 		}
 		pg := c.insert(key, ready, specPage)
@@ -425,10 +479,16 @@ func (c *Cache) cachedRunBefore(f FileID, index int64, max int) int {
 // the page must not be dereferenced (or re-linked) after that.
 func (c *Cache) hit(pg *page, f FileID, st *raState) {
 	c.stats.Hits++
+	if c.metrics != nil {
+		c.metrics.Hits.Inc()
+	}
 	c.lruTouch(pg)
 	if pg.spec {
 		pg.spec = false
 		c.stats.SpecUsed++
+		if c.metrics != nil {
+			c.metrics.SpecUsed.Inc()
+		}
 	}
 	marker := pg.marker
 	pg.marker = false
@@ -470,6 +530,9 @@ func (c *Cache) asyncAhead(f FileID, st *raState) {
 	}
 	st.start = start
 	st.frontier = start + int64(window)
+	if c.metrics != nil {
+		c.metrics.WindowPages.Observe(int64(window))
+	}
 	if len(toFetch) == 0 {
 		return
 	}
@@ -493,8 +556,14 @@ func (c *Cache) insert(key pageKey, readyAt time.Duration, spec bool) *page {
 	c.pages[key] = pg
 	c.lruPush(pg)
 	c.stats.Inserted++
+	if c.metrics != nil {
+		c.metrics.Inserted.Inc()
+	}
 	if spec {
 		c.stats.SpecInserted++
+		if c.metrics != nil {
+			c.metrics.SpecInserted.Inc()
+		}
 	}
 	if c.tracer != nil {
 		c.tracer.Emit(trace.Event{
@@ -514,7 +583,7 @@ func (c *Cache) evictFor(n int) {
 		if victim.dirty {
 			// Must clean before reclaim; count it and write it back.
 			c.dev.WriteAsync(1)
-			c.stats.Writebacks++
+			c.countWriteback(1)
 			c.stats.DirtyEvicted++
 			victim.dirty = false
 			c.dirtyCount--
@@ -582,7 +651,7 @@ func (c *Cache) maybeWriteback() {
 			return
 		}
 		c.dev.WriteAsync(batch)
-		c.stats.Writebacks += uint64(batch)
+		c.countWriteback(uint64(batch))
 	}
 }
 
@@ -598,7 +667,7 @@ func (c *Cache) SyncFile(f FileID) {
 		}
 	}
 	if batch > 0 {
-		c.stats.Writebacks += uint64(batch)
+		c.countWriteback(uint64(batch))
 		c.dev.WriteSync(batch)
 	}
 }
@@ -645,7 +714,7 @@ func (c *Cache) DropAll() {
 		}
 	}
 	if batch > 0 {
-		c.stats.Writebacks += uint64(batch)
+		c.countWriteback(uint64(batch))
 		c.dev.WriteSync(batch)
 	}
 	c.pages = make(map[pageKey]*page)
@@ -672,7 +741,7 @@ func (c *Cache) DropFile(f FileID) {
 		victims = append(victims, pg)
 	}
 	if batch > 0 {
-		c.stats.Writebacks += uint64(batch)
+		c.countWriteback(uint64(batch))
 		c.dev.WriteAsync(batch)
 	}
 	for _, pg := range victims {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/clock"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -447,5 +448,68 @@ func BenchmarkReadPagesSequential(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.ReadPages(1, int64(i)*2, 2)
+	}
+}
+
+// TestMetricsMirrorStats drives a mixed workload with telemetry
+// attached and checks the atomic counters agree exactly with the Stats
+// tallies, and that every sized readahead window was observed.
+func TestMetricsMirrorStats(t *testing.T) {
+	c, _, _, _ := newCache(1024)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg, "pagecache")
+	c.SetMetrics(m)
+
+	// Sequential stream (windows ramp, async markers fire), then random
+	// reads, then writes (dirtying + writeback), then an fsync.
+	for off := int64(0); off < 256; off += 8 {
+		c.ReadPages(1, off, 8)
+	}
+	for _, off := range []int64{5000, 9001, 7333, 5000} {
+		c.ReadPages(2, off, 1)
+	}
+	c.WritePages(3, 0, 200)
+	c.SyncFile(3)
+
+	st := c.Stats()
+	if got := m.Hits.Load(); got != st.Hits {
+		t.Errorf("hits counter %d != stats %d", got, st.Hits)
+	}
+	if got := m.Misses.Load(); got != st.Misses {
+		t.Errorf("misses counter %d != stats %d", got, st.Misses)
+	}
+	if got := m.Inserted.Load(); got != st.Inserted {
+		t.Errorf("inserted counter %d != stats %d", got, st.Inserted)
+	}
+	if got := m.SpecInserted.Load(); got != st.SpecInserted {
+		t.Errorf("spec_inserted counter %d != stats %d", got, st.SpecInserted)
+	}
+	if got := m.SpecUsed.Load(); got != st.SpecUsed {
+		t.Errorf("spec_used counter %d != stats %d", got, st.SpecUsed)
+	}
+	if got := m.Writebacks.Load(); got != st.Writebacks {
+		t.Errorf("writebacks counter %d != stats %d", got, st.Writebacks)
+	}
+	win := m.WindowPages.Snapshot()
+	if win.Count == 0 {
+		t.Fatal("no readahead windows observed")
+	}
+	if win.Max() < 8 {
+		t.Errorf("window histogram max %d; sequential ramp never widened", win.Max())
+	}
+}
+
+// TestMetricsDetach: a detached cache must not touch the counters.
+func TestMetricsDetach(t *testing.T) {
+	c, _, _, _ := newCache(64)
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg, "pc")
+	c.SetMetrics(m)
+	c.ReadPages(1, 0, 1)
+	before := m.Misses.Load()
+	c.SetMetrics(nil)
+	c.ReadPages(1, 100, 1)
+	if m.Misses.Load() != before {
+		t.Fatal("detached cache still incremented metrics")
 	}
 }

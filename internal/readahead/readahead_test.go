@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/features"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -279,5 +280,95 @@ func TestEndToEndClassifierOnLiveWindows(t *testing.T) {
 	acc := Evaluate(NewNNClassifier(net), normed, labels)
 	if acc < 0.85 {
 		t.Errorf("live-window training accuracy %.2f < 0.85", acc)
+	}
+}
+
+// TestTunerInstrumented drives an instrumented tuner over several windows
+// and checks the inference histogram, per-class counters, flight
+// recorder, and pipeline gauges all observe the decisions.
+func TestTunerInstrumented(t *testing.T) {
+	clk := clock.New()
+	dev := blockdev.New(blockdev.NVMe(), clk)
+	tuner, err := NewTuner(dev, fixedClassifier(1), features.Normalizer{}, TunerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tuner.Instrument(reg, 4)
+	hook := tuner.Hook()
+
+	tuner.MaybeTick(clk.Now())
+	const windows = 6
+	for w := 0; w < windows; w++ {
+		for i := 0; i < 50; i++ {
+			hook(trace.Event{Point: trace.AddToPageCache, Inode: 1, Offset: int64(i), Time: clk.Now()})
+		}
+		clk.Advance(1100 * time.Millisecond)
+		tuner.MaybeTick(clk.Now())
+	}
+
+	snap := reg.Histogram("readahead_infer_ns").Snapshot()
+	if snap.Count != windows {
+		t.Errorf("infer histogram count %d, want %d", snap.Count, windows)
+	}
+	if snap.Quantile(0.99) < 0 {
+		t.Error("negative inference latency")
+	}
+	if got := reg.Counter("readahead_decision_class_1").Load(); got != windows {
+		t.Errorf("class-1 counter %d, want %d", got, windows)
+	}
+	if got := reg.Counter("readahead_decision_class_0").Load(); got != 0 {
+		t.Errorf("class-0 counter %d, want 0", got)
+	}
+
+	// Flight recorder keeps only the latest 4 of 6 decisions.
+	fl := tuner.Flight()
+	if len(fl) != 4 {
+		t.Fatalf("flight recorder retained %d, want 4", len(fl))
+	}
+	all := tuner.Decisions()
+	for i, e := range fl {
+		want := all[len(all)-4+i]
+		if e.Decision != want {
+			t.Errorf("flight[%d] = %+v, want %+v", i, e.Decision, want)
+		}
+		if e.Class != 1 || e.Sectors != 8 {
+			t.Errorf("flight[%d] class/sectors %d/%d", i, e.Class, e.Sectors)
+		}
+	}
+	// Oldest-first ordering: times strictly increase.
+	for i := 1; i < len(fl); i++ {
+		if fl[i].Time <= fl[i-1].Time {
+			t.Errorf("flight out of order at %d: %v <= %v", i, fl[i].Time, fl[i-1].Time)
+		}
+	}
+
+	// Pipeline gauges were registered and reflect collection.
+	vals := map[string]int64{}
+	for _, s := range reg.Snapshot() {
+		vals[s.Name] = s.Value
+	}
+	if vals["readahead_pipeline_collected"] != windows*50 {
+		t.Errorf("collected gauge %d, want %d", vals["readahead_pipeline_collected"], windows*50)
+	}
+	if vals["readahead_pipeline_buffer_cap"] == 0 {
+		t.Error("buffer_cap gauge missing or zero")
+	}
+}
+
+// TestTunerUninstrumented: Flight on a bare tuner is nil and ticking
+// does not panic.
+func TestTunerUninstrumented(t *testing.T) {
+	clk := clock.New()
+	dev := blockdev.New(blockdev.NVMe(), clk)
+	tuner, err := NewTuner(dev, fixedClassifier(0), features.Normalizer{}, TunerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner.MaybeTick(clk.Now())
+	clk.Advance(2 * time.Second)
+	tuner.MaybeTick(clk.Now())
+	if tuner.Flight() != nil {
+		t.Error("uninstrumented tuner returned flight entries")
 	}
 }

@@ -2,12 +2,14 @@ package readahead
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/mserve"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -77,6 +79,18 @@ type Tuner struct {
 	started  bool
 
 	decisions []Decision
+
+	inferNanos *telemetry.Histogram
+	classCount [workload.NumClasses]*telemetry.Counter
+	flight     *telemetry.FlightRecorder[FlightEntry]
+}
+
+// FlightEntry is one flight-recorder record: the decision plus the
+// normalized feature vector the model saw, so an operator inspecting
+// "why did it pick class 1?" gets the inputs alongside the output.
+type FlightEntry struct {
+	Decision
+	Features [features.Count]float64
 }
 
 // NewTuner builds a tuner around a trained classifier and its fitted
@@ -195,16 +209,59 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 	raw := t.ext.Emit(t.dev.ReadaheadSectors())
 	norm := t.norm
 	norm.ApplyInto(t.featBuf, raw)
-	class := model.Predict(t.featBuf)
+	var class int
+	if t.inferNanos != nil {
+		start := time.Now()
+		class = model.Predict(t.featBuf)
+		t.inferNanos.Observe(time.Since(start).Nanoseconds())
+	} else {
+		class = model.Predict(t.featBuf)
+	}
 	sectors := t.policy[class%len(t.policy)]
 	t.dev.SetReadahead(sectors)
-	t.decisions = append(t.decisions, Decision{
+	d := Decision{
 		Time:    now,
 		Class:   class,
 		Sectors: sectors,
 		Events:  events,
 		Version: version,
-	})
+	}
+	t.decisions = append(t.decisions, d)
+	if t.flight != nil {
+		if class >= 0 && class < len(t.classCount) {
+			t.classCount[class].Inc()
+		}
+		e := FlightEntry{Decision: d}
+		copy(e.Features[:], t.featBuf)
+		t.flight.Record(e)
+	}
+}
+
+// Instrument attaches telemetry to the tuner: readahead_infer_ns times
+// each model.Predict (the paper's 21 µs per-inference figure, measured
+// live), readahead_decision_class_<i> counts decisions per predicted
+// class, the pipeline's counters become gauges under readahead_pipeline,
+// and a flight recorder retains the last flightN decisions with the
+// feature vectors that produced them. Call before the tuner runs.
+func (t *Tuner) Instrument(reg *telemetry.Registry, flightN int) {
+	t.inferNanos = reg.Histogram("readahead_infer_ns")
+	for i := range t.classCount {
+		t.classCount[i] = reg.Counter(fmt.Sprintf("readahead_decision_class_%d", i))
+	}
+	if flightN <= 0 {
+		flightN = 64
+	}
+	t.flight = telemetry.NewFlightRecorder[FlightEntry](flightN)
+	t.pipeline.RegisterMetrics(reg, "readahead_pipeline")
+}
+
+// Flight returns the retained tail of decisions (oldest first), or nil
+// if the tuner is not instrumented.
+func (t *Tuner) Flight() []FlightEntry {
+	if t.flight == nil {
+		return nil
+	}
+	return t.flight.Snapshot()
 }
 
 // Decisions returns the tuning history (the Figure-2 readahead series).

@@ -1,0 +1,31 @@
+// The optional HTTP debug surface: a stdlib-only mux serving the
+// registry's text exposition at /metrics plus the standard Go
+// introspection endpoints (expvar at /debug/vars, pprof under
+// /debug/pprof/). kml-served mounts it behind -debug-addr; nothing in
+// the serving or collection path depends on it.
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.ServeMux exposing reg at /metrics alongside
+// expvar and pprof. The caller owns the listener and its lifecycle; a
+// debug listener should bind loopback — it is an operator surface, not
+// a public one.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is active. The overhead
+// self-check skips under it: the race runtime intercepts every atomic
+// operation (~240 ns each here), so the timing assertion would measure
+// the detector, not the telemetry.
+const raceEnabled = true

@@ -1,0 +1,73 @@
+// FlightRecorder: a bounded keep-latest log of structured records, for
+// post-hoc debugging of tuner decisions ("why did readahead drop to 8
+// sectors at 14:02?"). Built on the same internal/ringbuf the data path
+// uses, but with keep-latest semantics: where the collection ring drops
+// the NEWEST sample under pressure (training data is fungible), a flight
+// recorder evicts the OLDEST record (the recent past is what debugging
+// needs). Recording happens on decision paths — once per tuner window,
+// once per drained batch — never on the per-event hot path, so a mutex
+// is acceptable and makes Snapshot safe from any goroutine.
+package telemetry
+
+import (
+	"sync"
+
+	"repro/internal/ringbuf"
+)
+
+// FlightRecorder retains the most recent records pushed into it.
+type FlightRecorder[T any] struct {
+	mu      sync.Mutex
+	ring    *ringbuf.Ring[T]
+	scratch []T
+	evicted uint64
+}
+
+// NewFlightRecorder returns a recorder retaining the last `capacity`
+// records (rounded up to a power of two, like the ring it wraps).
+func NewFlightRecorder[T any](capacity int) *FlightRecorder[T] {
+	r := ringbuf.New[T](capacity)
+	return &FlightRecorder[T]{ring: r, scratch: make([]T, r.Cap())}
+}
+
+// Record appends v, evicting the oldest record if the recorder is full.
+func (f *FlightRecorder[T]) Record(v T) {
+	f.mu.Lock()
+	if f.ring.Len() == f.ring.Cap() {
+		f.ring.TryPop()
+		f.evicted++
+	}
+	f.ring.TryPush(v)
+	f.mu.Unlock()
+}
+
+// Snapshot returns a copy of the retained records, oldest first.
+func (f *FlightRecorder[T]) Snapshot() []T {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.ring.PopBatch(f.scratch)
+	out := make([]T, n)
+	copy(out, f.scratch[:n])
+	for i := 0; i < n; i++ {
+		f.ring.TryPush(f.scratch[i])
+	}
+	return out
+}
+
+// Len returns the number of retained records.
+func (f *FlightRecorder[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ring.Len()
+}
+
+// Cap returns the retention capacity.
+func (f *FlightRecorder[T]) Cap() int { return f.ring.Cap() }
+
+// Evicted returns how many records have been displaced by newer ones —
+// how far back the recorder's horizon has moved.
+func (f *FlightRecorder[T]) Evicted() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evicted
+}

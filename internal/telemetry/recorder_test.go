@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+type rec struct {
+	Seq     int
+	Version uint64
+}
+
+func TestFlightRecorderKeepsLatest(t *testing.T) {
+	f := NewFlightRecorder[rec](8)
+	if f.Cap() != 8 {
+		t.Fatalf("Cap() = %d, want 8", f.Cap())
+	}
+	for i := 0; i < 20; i++ {
+		f.Record(rec{Seq: i, Version: uint64(i / 10)})
+	}
+	if f.Len() != 8 {
+		t.Fatalf("Len() = %d, want 8", f.Len())
+	}
+	if f.Evicted() != 12 {
+		t.Fatalf("Evicted() = %d, want 12", f.Evicted())
+	}
+	snap := f.Snapshot()
+	if len(snap) != 8 {
+		t.Fatalf("snapshot has %d records, want 8", len(snap))
+	}
+	// Keep-latest: the last 8 records, oldest first.
+	for i, r := range snap {
+		if r.Seq != 12+i {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, r.Seq, 12+i)
+		}
+	}
+}
+
+func TestFlightRecorderSnapshotDoesNotConsume(t *testing.T) {
+	f := NewFlightRecorder[rec](4)
+	f.Record(rec{Seq: 1})
+	f.Record(rec{Seq: 2})
+	a := f.Snapshot()
+	b := f.Snapshot()
+	if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("snapshots differ: %v vs %v", a, b)
+	}
+	f.Record(rec{Seq: 3})
+	if got := f.Snapshot(); len(got) != 3 || got[2].Seq != 3 {
+		t.Fatalf("recording after snapshot broken: %v", got)
+	}
+}
+
+func TestFlightRecorderEmpty(t *testing.T) {
+	f := NewFlightRecorder[rec](4)
+	if got := f.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty snapshot: %v", got)
+	}
+	if f.Len() != 0 || f.Evicted() != 0 {
+		t.Fatalf("empty Len/Evicted = %d/%d", f.Len(), f.Evicted())
+	}
+}
+
+// TestFlightRecorderConcurrent pins Record/Snapshot safety under -race:
+// decision paths record from one goroutine while operators snapshot
+// from another.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder[rec](16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	recDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(recDone)
+		for i := 0; i < 5000; i++ {
+			f.Record(rec{Seq: i})
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := f.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq != snap[i-1].Seq+1 {
+					t.Errorf("snapshot out of order: %v", snap)
+					return
+				}
+			}
+		}
+	}()
+	<-recDone
+	close(stop)
+	wg.Wait()
+
+	snap := f.Snapshot()
+	if len(snap) != 16 || snap[len(snap)-1].Seq != 4999 {
+		t.Fatalf("final snapshot: len=%d last=%+v", len(snap), snap[len(snap)-1])
+	}
+}

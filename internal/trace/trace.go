@@ -9,7 +9,10 @@
 // in the readahead application a hook is a single lock-free ring push.
 package trace
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Point identifies a tracepoint. The names mirror the kernel tracepoints
 // the paper instruments.
@@ -53,15 +56,23 @@ type Event struct {
 // simulated I/O path and must not block.
 type Hook func(Event)
 
-// Tracer dispatches events to registered hooks and keeps per-point counts.
+// Tracer dispatches events to registered hooks and keeps per-point
+// counts. Counts are atomic: emitters run on the I/O path while
+// observers (telemetry snapshots, -status endpoints) read them from
+// other goroutines, so a plain uint64 add would be a data race. Hooks
+// must all be registered before the first Emit.
 type Tracer struct {
 	hooks   []Hook
-	enabled bool
-	counts  [numPoints]uint64
+	enabled atomic.Bool
+	counts  [numPoints]atomic.Uint64
 }
 
 // New returns an enabled tracer with no hooks.
-func New() *Tracer { return &Tracer{enabled: true} }
+func New() *Tracer {
+	t := &Tracer{}
+	t.enabled.Store(true)
+	return t
+}
 
 // Register adds a hook. Hooks cannot be removed individually; a KML module
 // unloading corresponds to SetEnabled(false).
@@ -74,39 +85,42 @@ func (t *Tracer) Register(h Hook) {
 
 // SetEnabled turns event dispatch on or off (counts still accumulate only
 // while enabled).
-func (t *Tracer) SetEnabled(on bool) { t.enabled = on }
+func (t *Tracer) SetEnabled(on bool) { t.enabled.Store(on) }
 
 // Enabled reports whether dispatch is on.
-func (t *Tracer) Enabled() bool { return t.enabled }
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
 
 // Emit dispatches one event to all hooks. With no hooks registered (or
 // disabled) it is nearly free, like a disabled kernel tracepoint. It runs
-// inline on the simulated I/O path, so it must not allocate.
+// inline on the simulated I/O path, so it must not allocate; the count
+// update is one atomic add, safe against concurrent Count/Total readers.
 //
 //kml:hotpath
 func (t *Tracer) Emit(ev Event) {
-	if !t.enabled {
+	if !t.enabled.Load() {
 		return
 	}
-	t.counts[ev.Point]++
+	t.counts[ev.Point].Add(1)
 	for _, h := range t.hooks {
 		h(ev)
 	}
 }
 
-// Count returns the number of events emitted for a tracepoint.
+// Count returns the number of events emitted for a tracepoint. It is
+// safe to call while other goroutines emit.
 func (t *Tracer) Count(p Point) uint64 {
 	if p >= numPoints {
 		return 0
 	}
-	return t.counts[p]
+	return t.counts[p].Load()
 }
 
 // Total returns the number of events emitted across all tracepoints.
+// It is safe to call while other goroutines emit.
 func (t *Tracer) Total() uint64 {
 	var sum uint64
-	for _, c := range t.counts {
-		sum += c
+	for i := range t.counts {
+		sum += t.counts[i].Load()
 	}
 	return sum
 }

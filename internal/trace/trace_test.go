@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -91,4 +92,54 @@ func BenchmarkEmitOneHook(b *testing.B) {
 		tr.Emit(Event{Point: AddToPageCache, Inode: uint64(i), Offset: int64(i)})
 	}
 	_ = sink
+}
+
+// TestConcurrentEmitAndCount reads the per-point counts while emitters
+// run — exactly what a telemetry snapshot or -status endpoint does
+// against a live tracer. Before counts became atomic this was a data
+// race (plain uint64 add vs unsynchronized read); under -race this test
+// pins the fix.
+func TestConcurrentEmitAndCount(t *testing.T) {
+	tr := New()
+	const emitters = 4
+	const perEmitter = 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for e := 0; e < emitters; e++ {
+		wg.Add(1)
+		go func(p Point) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				tr.Emit(Event{Point: p, Inode: uint64(i)})
+			}
+		}(Point(e % 2))
+	}
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := tr.Count(AddToPageCache)
+			b := tr.Count(WritebackDirtyPage)
+			total := tr.Total()
+			// Counts only grow; a stale total may trail the fresh ones
+			// but no read may exceed the final tally.
+			if a+b > emitters*perEmitter || total > emitters*perEmitter {
+				t.Errorf("counts overshot: %d + %d, total %d", a, b, total)
+				return
+			}
+			_ = tr.Enabled()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := tr.Total(); got != emitters*perEmitter {
+		t.Fatalf("Total() = %d, want %d", got, emitters*perEmitter)
+	}
 }

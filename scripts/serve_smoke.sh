@@ -45,9 +45,16 @@ case "$TPUT" in
 esac
 
 echo "== status"
+# The flight recorder fills on the server's asynchronous collection
+# thread; give it a beat to drain the bench traffic.
+sleep 0.3
 "$TMP/kml-served" -addr "$SOCK" -status | tee "$TMP/status.out"
 grep -q "^active_version      1$" "$TMP/status.out"
 grep -q "^dropped             0$" "$TMP/status.out"
+# Telemetry surface: batched-inference latency percentiles and the last
+# served decisions, each stamped with the model version that made it.
+grep -q "^mserve_batch_infer_ns count=" "$TMP/status.out"
+grep -Eq "^decision t=[0-9]+ class=-?[0-9]+ rows=[0-9]+ v1$" "$TMP/status.out"
 
 echo "== graceful shutdown"
 kill -TERM "$PID"
