@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke overhead-check ci clean
+.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke overhead-check bench-json ci clean
 
 all: build
 
@@ -27,6 +27,7 @@ race:
 # package invocation, so targets run sequentially.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzModelRoundTrip -fuzztime=$(FUZZTIME) ./internal/nn/
+	$(GO) test -run='^$$' -fuzz=FuzzInferBatchEquivalence -fuzztime=$(FUZZTIME) ./internal/nn/
 	$(GO) test -run='^$$' -fuzz=FuzzRingPushPop -fuzztime=$(FUZZTIME) ./internal/ringbuf/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
@@ -41,6 +42,12 @@ serve-smoke:
 # /metrics scrape, MsgMetrics wire surface, flight-recorder decisions.
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Regenerate the hot-path benchmark snapshot: single-sample vs batched
+# inference (float64/float32/Q16.16) and one training iteration, as
+# machine-readable JSON. BENCHTIME shortens runs for smoke checks.
+bench-json:
+	sh scripts/bench_json.sh BENCH_PR4.json
 
 # The telemetry overhead self-check in isolation: one counter add plus
 # one histogram observation must cost under the budget in

@@ -15,6 +15,8 @@
 package repro
 
 import (
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -190,6 +192,63 @@ func BenchmarkE5_FixedInference(b *testing.B) {
 	}
 }
 
+// batchFeatures builds rows feature vectors of deterministic noise,
+// flattened row-major as PredictBatch expects.
+func batchFeatures(rows int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]float64, rows*features.Count)
+	for i := range out {
+		out[i] = rng.Float64()*2 - 1
+	}
+	return out
+}
+
+// BenchmarkE5_InferenceBatched measures the batched float32 inference
+// path (nn.Float32Network.InferBatch) at several batch sizes. The
+// ns/sample metric is per-sample latency: at batch 64 it amortizes the
+// per-call overhead and the fused multiply-bias kernel across the batch,
+// and is the number to compare against BenchmarkE5_Inference.
+func BenchmarkE5_InferenceBatched(b *testing.B) {
+	for _, rows := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("rows%d", rows), func(b *testing.B) {
+			net := readahead.NewModel(1)
+			cls, err := readahead.NewFloat32Classifier(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := batchFeatures(rows)
+			classes := make([]int, rows)
+			cls.PredictBatch(in, rows, classes)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cls.PredictBatch(in, rows, classes)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/sample")
+		})
+	}
+}
+
+// BenchmarkE5_FixedInferenceBatched measures the batched Q16.16
+// fixed-point inference path at batch 64 (the kernelspace batch shape).
+func BenchmarkE5_FixedInferenceBatched(b *testing.B) {
+	const rows = 64
+	net := readahead.NewModel(1)
+	cls, err := readahead.NewFixedClassifier(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := batchFeatures(rows)
+	classes := make([]int, rows)
+	cls.PredictBatch(in, rows, classes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.PredictBatch(in, rows, classes)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*rows), "ns/sample")
+}
+
 // BenchmarkE5_TrainingIteration measures one online training iteration
 // (paper: 51 µs).
 func BenchmarkE5_TrainingIteration(b *testing.B) {
@@ -197,10 +256,16 @@ func BenchmarkE5_TrainingIteration(b *testing.B) {
 	loss := nn.NewCrossEntropy()
 	opt := nn.NewSGD(0.01, 0.99)
 	batch := nn.NewMat(1, features.Count)
+	// Targets are prebuilt so the loop measures the training step alone;
+	// the step itself must be allocation-free.
+	var targets [workload.NumClasses]nn.Target
+	for c := range targets {
+		targets[c] = nn.ClassTarget([]int{c})
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.TrainBatch(batch, nn.ClassTarget([]int{i % workload.NumClasses}), loss, opt)
+		net.TrainBatch(batch, targets[i%workload.NumClasses], loss, opt)
 	}
 }
 

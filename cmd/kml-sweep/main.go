@@ -25,6 +25,7 @@ func main() {
 	cachePages := flag.Int("cache-pages", 0, "override page-cache size")
 	cpuGet := flag.Duration("cpu-get", 0, "override per-Get CPU cost")
 	only := flag.String("only", "", "sweep a single workload by name")
+	par := flag.Int("parallel", 0, "worker goroutines for sweep cells (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	flag.Parse()
 
 	kinds := workload.AllKinds()
@@ -68,7 +69,7 @@ func main() {
 		if *cpuGet != 0 {
 			cfg.CPUGet = *cpuGet
 		}
-		res, err := bench.RunSweep(cfg, kinds, nil, *seconds)
+		res, err := bench.RunSweepParallel(cfg, kinds, nil, *seconds, *par)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

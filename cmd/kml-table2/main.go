@@ -24,6 +24,7 @@ func main() {
 	seconds := flag.Int("seconds", 10, "virtual seconds per measured run")
 	model := flag.String("model", "nn", "model family: nn, dtree, or both")
 	seed := flag.Int64("seed", 1, "seed")
+	par := flag.Int("parallel", 0, "worker goroutines for table cells (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	flag.Parse()
 
 	nvmeCfg := bench.DefaultNVMeConfig(*seed)
@@ -43,7 +44,7 @@ func main() {
 	fmt.Printf("dataset: %d windows\n\n", len(raw))
 
 	run := func(b bench.Bundle) {
-		res, err := bench.RunTable2(nvmeCfg, ssdCfg, *seconds, b)
+		res, err := bench.RunTable2Parallel(nvmeCfg, ssdCfg, *seconds, b, *par)
 		if err != nil {
 			fatal(err)
 		}

@@ -24,6 +24,7 @@ func main() {
 	kfold := flag.Int("kfold", 10, "cross-validation folds (0 to skip)")
 	out := flag.String("out", ".", "directory for model artifacts")
 	seed := flag.Int64("seed", 1, "seed")
+	par := flag.Int("parallel", 0, "worker goroutines for cross-validation folds (0 = GOMAXPROCS, 1 = serial); accuracies are identical for any value")
 	flag.Parse()
 
 	simCfg := bench.DefaultNVMeConfig(*seed)
@@ -50,7 +51,7 @@ func main() {
 
 	tcfg := readahead.TrainConfig{Seed: *seed}
 	if *kfold > 1 {
-		accs := readahead.KFoldCV(raw, labels, *kfold, tcfg)
+		accs := readahead.KFoldCVParallel(raw, labels, *kfold, tcfg, *par)
 		fmt.Printf("%d-fold cross-validation accuracy: mean %.1f%% (folds:", *kfold, readahead.Mean(accs)*100)
 		for _, a := range accs {
 			fmt.Printf(" %.0f%%", a*100)

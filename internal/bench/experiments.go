@@ -31,33 +31,11 @@ type SweepResult struct {
 	Best []int
 }
 
-// RunSweep executes the readahead sweep for the given workloads.
+// RunSweep executes the readahead sweep for the given workloads on one
+// goroutine; RunSweepParallel fans the same grid across a worker pool with
+// byte-identical output.
 func RunSweep(simCfg sim.Config, kinds []workload.Kind, raValues []int, seconds int) (*SweepResult, error) {
-	if raValues == nil {
-		raValues = SweepRAValues()
-	}
-	res := &SweepResult{
-		Device:    simCfg.WithDefaults().Profile.Name,
-		RAValues:  raValues,
-		Workloads: kinds,
-	}
-	for _, kind := range kinds {
-		row := make([]float64, len(raValues))
-		bestIdx := 0
-		for i, ra := range raValues {
-			r, err := RunFixedRA(simCfg, kind, seconds, ra)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = r.OpsPerSec()
-			if row[i] > row[bestIdx] {
-				bestIdx = i
-			}
-		}
-		res.Throughput = append(res.Throughput, row)
-		res.Best = append(res.Best, raValues[bestIdx])
-	}
-	return res, nil
+	return RunSweepParallel(simCfg, kinds, raValues, seconds, 1)
 }
 
 // Policy derives a tuning policy from the sweep (classes are the training
@@ -108,36 +86,11 @@ type Table2Result struct {
 }
 
 // RunTable2 measures vanilla vs KML-tuned throughput for every Table-2
-// workload on both device profiles with the given model bundle.
+// workload on both device profiles with the given model bundle, on one
+// goroutine; RunTable2Parallel fans the same cells across a worker pool
+// with byte-identical output.
 func RunTable2(nvmeCfg, ssdCfg sim.Config, seconds int, b Bundle) (*Table2Result, error) {
-	res := &Table2Result{ModelName: b.Model.Name()}
-	var sumNVMe, sumSSD float64
-	for _, kind := range workload.AllKinds() {
-		row := Table2Row{Workload: kind}
-		for _, devCfg := range []struct {
-			cfg  sim.Config
-			dest *float64
-		}{{nvmeCfg, &row.NVMe}, {ssdCfg, &row.SSD}} {
-			base, err := RunVanilla(devCfg.cfg, kind, seconds)
-			if err != nil {
-				return nil, err
-			}
-			tuned, _, err := RunKML(devCfg.cfg, kind, seconds, b)
-			if err != nil {
-				return nil, err
-			}
-			if base.OpsPerSec() > 0 {
-				*devCfg.dest = tuned.OpsPerSec() / base.OpsPerSec()
-			}
-		}
-		sumNVMe += row.NVMe - 1
-		sumSSD += row.SSD - 1
-		res.Rows = append(res.Rows, row)
-	}
-	n := float64(len(res.Rows))
-	res.MeanGainNVMe = sumNVMe / n * 100
-	res.MeanGainSSD = sumSSD / n * 100
-	return res, nil
+	return RunTable2Parallel(nvmeCfg, ssdCfg, seconds, b, 1)
 }
 
 // Write renders the table in the paper's layout.

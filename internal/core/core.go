@@ -65,6 +65,25 @@ type Classifier interface {
 	Name() string
 }
 
+// BatchClassifier is implemented by classifiers with a fused batched
+// inference path: PredictBatch classifies rows samples (row-major
+// rows×features) in one pass, writing class indices to classes[:rows].
+// Implementations must produce exactly the same class per sample as rows
+// individual Predict calls.
+type BatchClassifier interface {
+	Classifier
+	PredictBatch(features []float64, rows int, classes []int)
+}
+
+// Cloneable is implemented by classifiers whose Predict mutates internal
+// scratch (network forward buffers) and that can produce an independent
+// copy safe for use on another goroutine. The parallel experiment harness
+// clones a model per worker; stateless classifiers (decision trees) may
+// return a cheap wrapper sharing the immutable model.
+type Cloneable interface {
+	CloneClassifier() Classifier
+}
+
 // Config parameterizes a Pipeline.
 type Config struct {
 	// BufferCapacity sizes the lock-free ring (§3.1: "The circular buffer's

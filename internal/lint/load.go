@@ -3,12 +3,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -125,10 +127,16 @@ func (m *Module) parseDir(dir string) error {
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
 		}
+		if !suffixMatchesHost(name) {
+			continue
+		}
 		full := filepath.Join(dir, name)
 		f, err := parser.ParseFile(m.Fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return fmt.Errorf("lint: %v", err)
+		}
+		if !buildTagsMatchHost(f) {
+			continue
 		}
 		if pkg.Name == "" {
 			pkg.Name = f.Name.Name
@@ -144,6 +152,81 @@ func (m *Module) parseDir(dir string) error {
 	m.Pkgs = append(m.Pkgs, pkg)
 	m.byPath[pkg.ImportPath] = pkg
 	return nil
+}
+
+// knownArchs and knownOSes drive the implicit filename-suffix build
+// constraint (foo_amd64.go, foo_linux_arm64.go). Only names in these sets
+// act as constraints; anything else in a filename is just a name.
+var knownArchs = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mipsle": true, "mips64": true,
+	"mips64le": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+var knownOSes = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var unixOSes = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "linux": true,
+	"netbsd": true, "openbsd": true, "solaris": true,
+}
+
+// suffixMatchesHost applies the _GOOS / _GOARCH / _GOOS_GOARCH filename
+// rule for the host configuration. Platform variants the host would not
+// compile (e.g. an amd64 assembly wrapper on arm64) must be skipped, or
+// they redeclare the symbols of the portable fallback file.
+func suffixMatchesHost(name string) bool {
+	parts := strings.Split(strings.TrimSuffix(name, ".go"), "_")
+	if n := len(parts); n >= 2 && knownArchs[parts[n-1]] {
+		if parts[n-1] != runtime.GOARCH {
+			return false
+		}
+		parts = parts[:n-1]
+	}
+	if n := len(parts); n >= 2 && knownOSes[parts[n-1]] {
+		return parts[n-1] == runtime.GOOS
+	}
+	return true
+}
+
+// buildTagsMatchHost evaluates the file's //go:build line (if any) for the
+// host GOOS/GOARCH with no extra tags set, mirroring how `go build` with
+// default flags selects files in this repo (so e.g. `purego` is false).
+func buildTagsMatchHost(f *ast.File) bool {
+	for _, grp := range f.Comments {
+		if grp.Pos() >= f.Package {
+			break
+		}
+		for _, c := range grp.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed: let the type checker complain
+			}
+			return expr.Eval(func(tag string) bool {
+				switch {
+				case tag == runtime.GOOS || tag == runtime.GOARCH:
+					return true
+				case tag == "gc":
+					return true
+				case tag == "unix":
+					return unixOSes[runtime.GOOS]
+				case strings.HasPrefix(tag, "go1."):
+					return true
+				}
+				return false
+			})
+		}
+	}
+	return true
 }
 
 func (m *Module) importPath(dir string) string {

@@ -1,0 +1,57 @@
+// Package batchmat pins the analyzers' behavior on the batched inference
+// kernel shape: a fused multiply-bias over preallocated scratch with a
+// per-call row view. The clean form — slice into capacity scratch, write
+// in place — must pass; the tempting form — allocate the output matrix
+// inside the kernel — must be reported, because per-batch allocation is
+// exactly the regression the zero-alloc inference path guards against.
+package batchmat
+
+// net is a one-layer batched model: weights, bias, and capacity-sized
+// output scratch owned across calls.
+type net struct {
+	w, b []float64
+	out  []float64 // batchCap×outDim scratch
+	in   int
+	on   int
+}
+
+// forwardInto is the clean batched kernel: for each of rows samples it
+// accumulates bias + a·w into a row view of the preallocated scratch.
+// No allocation, no calls — the analyzer must stay quiet.
+//
+//kml:hotpath
+func (n *net) forwardInto(a []float64, rows int) []float64 {
+	view := n.out[:rows*n.on]
+	for r := 0; r < rows; r++ {
+		arow := a[r*n.in : (r+1)*n.in]
+		drow := view[r*n.on : (r+1)*n.on]
+		copy(drow, n.b)
+		for k, av := range arow {
+			wrow := n.w[k*n.on : (k+1)*n.on]
+			for j := range drow {
+				drow[j] += av * wrow[j]
+			}
+		}
+	}
+	return view
+}
+
+// forwardAlloc allocates the batch output inside the hot kernel — the
+// per-call make defeats the scratch reuse and must be reported.
+//
+//kml:hotpath
+func (n *net) forwardAlloc(a []float64, rows int) []float64 {
+	out := make([]float64, rows*n.on) // want:noalloc
+	for r := 0; r < rows; r++ {
+		arow := a[r*n.in : (r+1)*n.in]
+		drow := out[r*n.on : (r+1)*n.on]
+		copy(drow, n.b)
+		for k, av := range arow {
+			wrow := n.w[k*n.on : (k+1)*n.on]
+			for j := range drow {
+				drow[j] += av * wrow[j]
+			}
+		}
+	}
+	return out
+}

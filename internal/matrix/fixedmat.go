@@ -41,6 +41,16 @@ func (f *Fixed) Data() []fixed.Q16 { return f.data }
 // Row returns a view of row i.
 func (f *Fixed) Row(i int) []fixed.Q16 { return f.data[i*f.cols : (i+1)*f.cols] }
 
+// SliceRows returns a view of the first rows rows of f, sharing f's
+// storage. Returned by value so batched inference can re-slice
+// fixed-capacity scratch per call without allocating.
+func (f *Fixed) SliceRows(rows int) Fixed {
+	if rows < 0 || rows > f.rows {
+		panic("matrix: Fixed.SliceRows out of range")
+	}
+	return Fixed{rows: rows, cols: f.cols, data: f.data[:rows*f.cols]}
+}
+
 // MulFixedInto computes dst = a·b in fixed point with int64 accumulation.
 //
 //kml:hotpath

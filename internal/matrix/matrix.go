@@ -40,6 +40,18 @@ func New[T Float](rows, cols int) *Dense[T] {
 	return &Dense[T]{rows: rows, cols: cols, data: make([]T, rows*cols)}
 }
 
+// NewPadded returns a zeroed rows×cols matrix whose backing array carries
+// at least pad spare elements of capacity beyond the matrix itself. The
+// spare region lets vectorized kernels (MulBias32) read and write full
+// SIMD lanes past the final row without touching unowned memory; the
+// matrix's own shape and contents are identical to New's.
+func NewPadded[T Float](rows, cols, pad int) *Dense[T] {
+	if rows < 0 || cols < 0 || pad < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d+%d", rows, cols, pad))
+	}
+	return &Dense[T]{rows: rows, cols: cols, data: make([]T, rows*cols, rows*cols+pad)}
+}
+
 // FromSlice returns a rows×cols matrix backed by a copy of data, which must
 // hold exactly rows*cols elements in row-major order.
 func FromSlice[T Float](rows, cols int, data []T) *Dense[T] {
@@ -75,6 +87,18 @@ func (m *Dense[T]) Clone() *Dense[T] {
 	c := New[T](m.rows, m.cols)
 	copy(c.data, m.data)
 	return c
+}
+
+// SliceRows returns a view of the first rows rows of m, sharing m's
+// storage. The view is returned by value so callers can keep it in a
+// reusable field (or on the stack) and re-slice per call without
+// allocating — the mechanism batched inference uses to run varying batch
+// sizes over fixed-capacity scratch.
+func (m *Dense[T]) SliceRows(rows int) Dense[T] {
+	if rows < 0 || rows > m.rows {
+		panic(fmt.Sprintf("matrix: SliceRows %d of %dx%d", rows, m.rows, m.cols))
+	}
+	return Dense[T]{rows: rows, cols: m.cols, data: m.data[:rows*m.cols]}
 }
 
 // CopyFrom copies src into m; dimensions must match.
@@ -131,6 +155,45 @@ func MulInto[T Float](dst, a, b *Dense[T]) {
 				drow[j] += av * bv
 			}
 		}
+	}
+}
+
+// MulBiasInto computes dst = a·b + bias (bias a 1×b.cols row vector,
+// broadcast over rows) in a single fused pass: each destination row is
+// initialized from the bias and accumulated in k-order, so the output is
+// traversed once instead of twice (MulInto + AddRowVec). dst must be
+// a.rows × b.cols and must not alias a or b. It performs no allocation.
+//
+// This is the batched-inference reference kernel. Each output element is
+// evaluated as ((bias + a₀·b₀) + a₁·b₁) + … — one IEEE multiply and add
+// per k step, in k order, independent of the row count. MulBias32 (the
+// float32 fast path, vectorized on amd64) follows the identical per-
+// element order, so batch-of-N output is bitwise-equal to N batch-of-1
+// calls on every build.
+//
+//kml:hotpath
+func MulBiasInto[T Float](dst, a, b, bias *Dense[T]) {
+	checkMulBias(dst, a, b, bias)
+	n := b.cols
+	for i := 0; i < a.rows; i++ {
+		drow := dst.data[i*n : (i+1)*n]
+		copy(drow, bias.data)
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		for k, av := range arow {
+			brow := b.data[k*n : (k+1)*n]
+			brow = brow[:len(drow)]
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+func checkMulBias[T Float](dst, a, b, bias *Dense[T]) {
+	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols ||
+		bias.rows != 1 || bias.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulBiasInto shapes %dx%d · %dx%d + 1x%d -> %dx%d",
+			a.rows, a.cols, b.rows, b.cols, bias.cols, dst.rows, dst.cols))
 	}
 }
 

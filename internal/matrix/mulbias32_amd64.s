@@ -1,0 +1,78 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func mulBias32Kernel16(dst, a, b, bias []float32, rows, k, n int)
+//
+// dst = a·b + bias(broadcast) for n ≤ 16: dst is rows×n, a rows×k, b k×n,
+// bias 1×n, all row-major. The whole output row lives in four XMM
+// accumulators (16 lanes) initialized from bias, with k innermost — no
+// intermediate stores, four independent add chains — then one 64-byte
+// store per row. Lanes past n are junk; the loads and stores that touch
+// them run over the operands' ends, which is why the Go wrapper only
+// dispatches here when dst, b, and bias carry ≥ 16 elements of spare
+// backing capacity (matrix.NewPadded). A row's overhang lands in rows
+// not yet computed (rows run ascending, so they are rewritten) or in the
+// final padding.
+//
+// MULPS/ADDPS are plain IEEE single multiply and add per lane — never
+// FMA — and k is walked in the portable loop's order, so every output
+// element is bitwise-identical to the generic build.
+TEXT ·mulBias32Kernel16(SB), NOSPLIT, $0-120
+	MOVQ dst_base+0(FP), DI   // DI = dst cursor (row i)
+	MOVQ a_base+24(FP), SI    // SI = a cursor (row i)
+	MOVQ b_base+48(FP), R13   // R13 = &b[0]
+	MOVQ bias_base+72(FP), DX // DX = &bias[0]
+	MOVQ rows+96(FP), AX      // AX = remaining rows
+	MOVQ k+104(FP), R8        // R8 = k
+	MOVQ n+112(FP), CX        // CX = n
+	LEAQ (CX*4), R10          // R10 = row stride in bytes
+
+rowloop:
+	TESTQ AX, AX
+	JZ    done
+
+	// Accumulators = bias (64-byte read; tail lanes are junk).
+	MOVUPS (DX), X4
+	MOVUPS 16(DX), X5
+	MOVUPS 32(DX), X6
+	MOVUPS 48(DX), X7
+
+	MOVQ R13, BX              // BX = &b[k*n] for current k
+	XORQ R9, R9               // R9 = k index
+
+kloop:
+	CMPQ   R9, R8
+	JGE    rowstore
+	MOVSS  (SI)(R9*4), X0
+	SHUFPS $0, X0, X0         // X0 = {av, av, av, av}
+	MOVUPS (BX), X1
+	MULPS  X0, X1
+	ADDPS  X1, X4
+	MOVUPS 16(BX), X2
+	MULPS  X0, X2
+	ADDPS  X2, X5
+	MOVUPS 32(BX), X3
+	MULPS  X0, X3
+	ADDPS  X3, X6
+	MOVUPS 48(BX), X1
+	MULPS  X0, X1
+	ADDPS  X1, X7
+	ADDQ   R10, BX            // next row of b
+	INCQ   R9
+	JMP    kloop
+
+rowstore:
+	// One 64-byte store; overhang beyond n lands in not-yet-computed
+	// rows or the final padding.
+	MOVUPS X4, (DI)
+	MOVUPS X5, 16(DI)
+	MOVUPS X6, 32(DI)
+	MOVUPS X7, 48(DI)
+	ADDQ   R10, DI            // next dst row
+	LEAQ   (SI)(R8*4), SI     // next a row
+	DECQ   AX
+	JMP    rowloop
+
+done:
+	RET

@@ -1,0 +1,13 @@
+//go:build !amd64 || purego
+
+package matrix
+
+// MulBias32 is MulBiasInto specialized to float32. On amd64 an SSE kernel
+// replaces this build (mulbias32_amd64.go); both evaluate every output
+// element with the identical IEEE multiply/add sequence, so results are
+// bitwise-equal across builds.
+//
+//kml:hotpath
+func MulBias32(dst, a, b, bias *Dense[float32]) {
+	MulBiasInto(dst, a, b, bias)
+}

@@ -494,7 +494,10 @@ type Instance struct {
 	tree    *dtree.Tree
 }
 
-var _ core.Classifier = (*Instance)(nil)
+var (
+	_ core.Classifier      = (*Instance)(nil)
+	_ core.BatchClassifier = (*Instance)(nil)
+)
 
 // Predict implements core.Classifier. It must not be called concurrently
 // on one Instance; give each goroutine its own via Artifact.Instantiate.
@@ -503,6 +506,22 @@ func (m *Instance) Predict(features []float64) int {
 		return m.net.Predict(features, &m.buf)
 	}
 	return m.tree.Predict(features)
+}
+
+// PredictBatch implements core.BatchClassifier: networks take the fused
+// batched forward pass (one matrix-multiply chain for all rows instead of
+// rows separate ones — where the batch-endpoint speedup comes from); tree
+// traversal is already cheap and pure, so it loops. Like Predict, it must
+// not be called concurrently on one Instance. After the scratch high-water
+// mark is reached it allocates nothing.
+func (m *Instance) PredictBatch(features []float64, rows int, classes []int) {
+	if m.net != nil {
+		m.net.PredictBatch(features, rows, classes, &m.buf)
+		return
+	}
+	for r := 0; r < rows; r++ {
+		classes[r] = m.tree.Predict(features[r*m.inDim : (r+1)*m.inDim])
+	}
 }
 
 // Name implements core.Classifier.

@@ -91,6 +91,7 @@ type Server struct {
 	wg       sync.WaitGroup
 	connsMu  sync.Mutex
 	conns    map[net.Conn]struct{}
+	connPool sync.Pool // *srvConn, recycled across connections
 
 	open         atomic.Int64
 	inferences   atomic.Uint64
@@ -396,14 +397,15 @@ func (s *Server) Shutdown(timeout time.Duration) {
 // deployed model's shape on the first request and are reused afterwards,
 // so the steady-state loop allocates nothing.
 type srvConn struct {
-	s       *Server
-	hdr     [HeaderSize]byte
-	payload []byte
-	resp    []byte
-	out     []byte
-	feats   []float64
-	classes []uint16
-	inst    *Instance
+	s          *Server
+	hdr        [HeaderSize]byte
+	payload    []byte
+	resp       []byte
+	out        []byte
+	feats      []float64
+	classes    []uint16
+	rowClasses []int
+	inst       *Instance
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -418,7 +420,15 @@ func (s *Server) handle(c net.Conn) {
 		}
 		s.wg.Done()
 	}()
-	sc := &srvConn{s: s}
+	// Per-connection buffers are pooled across connections: a reconnecting
+	// client inherits sized buffers (and often a parsed model instance —
+	// instance() revalidates the version), so short-lived connections don't
+	// pay the warm-up allocations again.
+	sc, _ := s.connPool.Get().(*srvConn)
+	if sc == nil {
+		sc = &srvConn{s: s}
+	}
+	defer s.connPool.Put(sc)
 	for {
 		if s.draining.Load() {
 			return
@@ -469,24 +479,30 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 		if err != nil {
 			return s.errorResp(sc, fmt.Sprintf("deploy: %v", err))
 		}
-		return MsgDeploy, AppendVersionResp(sc.resp[:0], v.Number)
+		sc.resp = AppendVersionResp(sc.resp[:0], v.Number)
+		return MsgDeploy, sc.resp
 	case MsgRollback:
 		v, err := s.Rollback()
 		if err != nil {
 			return s.errorResp(sc, fmt.Sprintf("rollback: %v", err))
 		}
-		return MsgRollback, AppendVersionResp(sc.resp[:0], v.Number)
+		sc.resp = AppendVersionResp(sc.resp[:0], v.Number)
+		return MsgRollback, sc.resp
 	case MsgStats:
-		return MsgStats, AppendStats(sc.resp[:0], s.Stats())
+		sc.resp = AppendStats(sc.resp[:0], s.Stats())
+		return MsgStats, sc.resp
 	case MsgMetrics:
-		return MsgMetrics, AppendMetrics(sc.resp[:0], s.Metrics())
+		sc.resp = AppendMetrics(sc.resp[:0], s.Metrics())
+		return MsgMetrics, sc.resp
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {
-			return MsgHealth, AppendHealthResp(sc.resp[:0], false, 0, 0)
+			sc.resp = AppendHealthResp(sc.resp[:0], false, 0, 0)
+			return MsgHealth, sc.resp
 		}
 		ok := !s.draining.Load()
-		return MsgHealth, AppendHealthResp(sc.resp[:0], ok, snap.Version, snap.Model.InDim)
+		sc.resp = AppendHealthResp(sc.resp[:0], ok, snap.Version, snap.Model.InDim)
+		return MsgHealth, sc.resp
 	default:
 		return s.errorResp(sc, fmt.Sprintf("unknown message type %d", typ))
 	}
@@ -529,7 +545,8 @@ func (s *Server) doInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	s.inferences.Add(1)
 	s.rows.Add(1)
 	s.pipeline.Collect(Sample{Version: inst.Version(), Class: int32(class), Rows: 1})
-	return MsgInfer, AppendInferResp(sc.resp[:0], uint16(class), inst.Version())
+	sc.resp = AppendInferResp(sc.resp[:0], uint16(class), inst.Version())
+	return MsgInfer, sc.resp
 }
 
 func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
@@ -556,13 +573,18 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if len(sc.classes) < rows {
 		sc.classes = make([]uint16, rows)
 	}
+	if len(sc.rowClasses) < rows {
+		sc.rowClasses = make([]int, rows)
+	}
+	inst.PredictBatch(sc.feats[:rows*nfeat], rows, sc.rowClasses)
 	for i := 0; i < rows; i++ {
-		sc.classes[i] = uint16(inst.Predict(sc.feats[i*nfeat : (i+1)*nfeat]))
+		sc.classes[i] = uint16(sc.rowClasses[i])
 	}
 	s.inferences.Add(1)
 	s.rows.Add(uint64(rows))
 	s.pipeline.Collect(Sample{Version: inst.Version(), Class: -1, Rows: int32(rows)})
-	return MsgBatchInfer, AppendBatchInferResp(sc.resp[:0], sc.classes[:rows], inst.Version())
+	sc.resp = AppendBatchInferResp(sc.resp[:0], sc.classes[:rows], inst.Version())
+	return MsgBatchInfer, sc.resp
 }
 
 // batchFloats reads the rows×nfeat the batch header claims, clamped to the
@@ -581,7 +603,8 @@ func batchFloats(p []byte, inDim int) int {
 
 func (s *Server) errorResp(sc *srvConn, msg string) (MsgType, []byte) {
 	s.errorsSent.Add(1)
-	return MsgError, append(sc.resp[:0], msg...)
+	sc.resp = append(sc.resp[:0], msg...)
+	return MsgError, sc.resp
 }
 
 func growBytes(b []byte, n int) []byte {

@@ -20,7 +20,6 @@ func CompileFixed(n *Network) (*FixedNetwork, error) {
 				kind: kindLinear,
 				w:    matrix.FixedFrom(t.w),
 				b:    matrix.FixedFrom(t.b),
-				out:  matrix.NewFixed(1, t.out),
 			}
 			fn.ops = append(fn.ops, op)
 		case *Softmax:
@@ -45,8 +44,27 @@ func CompileFixed(n *Network) (*FixedNetwork, error) {
 	if len(fn.ops) == 0 {
 		return nil, fmt.Errorf("nn: nothing to compile")
 	}
-	fn.inBuf = matrix.NewFixed(1, fn.inDim)
+	fn.EnsureBatch(1)
 	return fn, nil
+}
+
+// EnsureBatch reserves batch scratch for at least rows samples. It is the
+// user-space allocation half of the batched fixed path: the kernelspace
+// InferBatchQ never allocates, so capacity must be reserved here before
+// batches of that size are inferred.
+func (fn *FixedNetwork) EnsureBatch(rows int) {
+	if rows <= fn.batchCap {
+		return
+	}
+	fn.inBuf = matrix.NewFixed(rows, fn.inDim)
+	fn.qBuf = make([]fixed.Q16, rows*fn.inDim)
+	for i := range fn.ops {
+		op := &fn.ops[i]
+		if op.kind == kindLinear {
+			op.out = matrix.NewFixed(rows, op.w.Cols())
+		}
+	}
+	fn.batchCap = rows
 }
 
 // Predict quantizes float features and returns the argmax output index.
@@ -54,12 +72,28 @@ func CompileFixed(n *Network) (*FixedNetwork, error) {
 // inputs belongs on the user-space side, so it lives here rather than in
 // the kernelspace fixednet.go.
 func (fn *FixedNetwork) Predict(features []float64) int {
-	buf := fn.inBuf.Row(0)
-	if len(features) != len(buf) {
-		panic(fmt.Sprintf("nn: fixed predict got %d features, want %d", len(features), len(buf)))
+	if len(features) != fn.inDim {
+		panic(fmt.Sprintf("nn: fixed predict got %d features, want %d", len(features), fn.inDim))
 	}
+	buf := fn.qBuf[:fn.inDim]
 	for i, f := range features {
 		buf[i] = fixed.FromFloat(f)
 	}
 	return fn.PredictQ(buf)
+}
+
+// InferBatch quantizes rows float64 samples (row-major rows×InDim) and
+// classifies them in one batched kernel pass, writing classes[r] for each
+// sample. Scratch grows on demand; at steady state the call is
+// allocation-free.
+func (fn *FixedNetwork) InferBatch(features []float64, rows int, classes []int) {
+	if rows <= 0 || len(features) != rows*fn.inDim {
+		panic("nn: fixed InferBatch feature length mismatch")
+	}
+	fn.EnsureBatch(rows)
+	buf := fn.qBuf[:rows*fn.inDim]
+	for i, f := range features {
+		buf[i] = fixed.FromFloat(f)
+	}
+	fn.InferBatchQ(buf, rows, classes)
 }

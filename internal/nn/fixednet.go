@@ -1,8 +1,9 @@
 // Fixed-point inference core. This file is the part of the nn package
 // that executes in FPU-less (kernel) contexts, so it carries the
 // kernelspace contract: integer arithmetic only, no allocation on the
-// inference path, no forbidden imports. Quantization and compilation from
-// the float network live in fixedcompile.go on the user-space side.
+// inference path, no forbidden imports. Quantization, compilation from
+// the float network, and batch-scratch allocation live in fixedcompile.go
+// on the user-space side.
 //
 //kml:kernelspace
 package nn
@@ -17,7 +18,8 @@ type fixedOp struct {
 	kind uint8
 	w    *matrix.Fixed // linear only
 	b    *matrix.Fixed
-	out  *matrix.Fixed // 1×out scratch, single-sample inference
+	out  *matrix.Fixed // batchCap × out scratch (linear only)
+	view matrix.Fixed  // rows-row view of out for the current call
 }
 
 // FixedNetwork is a network compiled to Q16.16 fixed-point arithmetic for
@@ -27,9 +29,12 @@ type fixedOp struct {
 // is quantized — the same train-in-user-space / deploy-in-kernel split the
 // paper's readahead model uses.
 type FixedNetwork struct {
-	ops   []fixedOp
-	inDim int
-	inBuf *matrix.Fixed
+	ops      []fixedOp
+	inDim    int
+	inBuf    *matrix.Fixed // batchCap × inDim input scratch
+	inView   matrix.Fixed
+	qBuf     []fixed.Q16 // user-space quantization scratch for InferBatch
+	batchCap int
 }
 
 // InDim returns the input feature dimension.
@@ -41,7 +46,12 @@ func (fn *FixedNetwork) InDim() int { return fn.inDim }
 //
 //kml:hotpath
 func (fn *FixedNetwork) PredictQ(features []fixed.Q16) int {
-	out := fn.forwardQ(features)
+	if len(features) != fn.inDim {
+		panic("nn: fixed forward feature length mismatch")
+	}
+	fn.inView = fn.inBuf.SliceRows(1)
+	copy(fn.inView.Row(0), features)
+	out := fn.forwardQ(1)
 	return out.ArgMaxRow(0)
 }
 
@@ -50,23 +60,67 @@ func (fn *FixedNetwork) PredictQ(features []fixed.Q16) int {
 //
 //kml:hotpath
 func (fn *FixedNetwork) Logits(features []fixed.Q16) []fixed.Q16 {
-	return fn.forwardQ(features).Row(0)
-}
-
-//kml:hotpath
-func (fn *FixedNetwork) forwardQ(features []fixed.Q16) *matrix.Fixed {
 	if len(features) != fn.inDim {
 		panic("nn: fixed forward feature length mismatch")
 	}
-	copy(fn.inBuf.Row(0), features)
-	cur := fn.inBuf
+	fn.inView = fn.inBuf.SliceRows(1)
+	copy(fn.inView.Row(0), features)
+	return fn.forwardQ(1).Row(0)
+}
+
+// InferBatchQ classifies rows pre-quantized samples (row-major
+// rows×InDim) in one batched forward pass, writing the predicted class of
+// sample r to classes[r]. The kernelspace side never allocates: rows must
+// not exceed the scratch capacity reserved by EnsureBatch (user space),
+// or InferBatchQ panics. Fixed-point arithmetic is exact per element, so
+// the result for each row is bitwise-identical to a PredictQ call on that
+// row alone.
+//
+//kml:hotpath
+func (fn *FixedNetwork) InferBatchQ(features []fixed.Q16, rows int, classes []int) {
+	if rows <= 0 || len(features) != rows*fn.inDim {
+		panic("nn: InferBatchQ feature length mismatch")
+	}
+	if len(classes) < rows {
+		panic("nn: InferBatchQ classes slice too short")
+	}
+	if rows > fn.batchCap {
+		panic("nn: InferBatchQ rows exceed batch capacity; call EnsureBatch first")
+	}
+	fn.inView = fn.inBuf.SliceRows(rows)
+	copy(fn.inView.Data(), features)
+	out := fn.forwardQ(rows)
+	for r := 0; r < rows; r++ {
+		classes[r] = out.ArgMaxRow(r)
+	}
+}
+
+// BatchLogits returns the output row for sample r of the most recent
+// InferBatchQ call (aliasing internal scratch, valid until the next call).
+func (fn *FixedNetwork) BatchLogits(r int) []fixed.Q16 {
+	last := 0
+	for i := range fn.ops {
+		if fn.ops[i].w != nil {
+			last = i
+		}
+	}
+	return fn.ops[last].view.Row(r)
+}
+
+// forwardQ runs the compiled chain over the first rows rows of the input
+// scratch, slicing row views of each linear layer's capacity scratch.
+//
+//kml:hotpath
+func (fn *FixedNetwork) forwardQ(rows int) *matrix.Fixed {
+	cur := &fn.inView
 	for i := range fn.ops {
 		op := &fn.ops[i]
 		switch op.kind {
 		case kindLinear:
-			matrix.MulFixedInto(op.out, cur, op.w)
-			op.out.AddRowVec(op.b)
-			cur = op.out
+			op.view = op.out.SliceRows(rows)
+			matrix.MulFixedInto(&op.view, cur, op.w)
+			op.view.AddRowVec(op.b)
+			cur = &op.view
 		case kindSigmoid:
 			cur.Apply(fixed.Q16.Sigmoid)
 		case kindReLU:

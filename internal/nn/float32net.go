@@ -14,18 +14,116 @@ import (
 // deployed model's memory at negligible accuracy cost, and the
 // BenchmarkAblation_InferencePrecision harness quantifies the trade
 // against the Q16.16 integer path.
+//
+// The compiled network is batched: every linear layer owns capacity-sized
+// scratch that a per-call row view slices into, so Predict is just
+// InferBatch at rows = 1 and both paths execute the identical kernel
+// (matrix.MulBiasInto + the table-driven activations below). That shared
+// kernel is what makes batch-of-N output bitwise-equal to N single-sample
+// calls — the per-element accumulation order never depends on the row
+// count.
 type float32Op struct {
 	kind uint8
 	w    *matrix.Dense[float32]
 	b    *matrix.Dense[float32]
-	out  *matrix.Dense[float32]
+	out  *matrix.Dense[float32] // batchCap × out scratch (linear only)
+	view matrix.Dense[float32]  // rows-row view of out for the current call
 }
 
 // Float32Network executes a single-precision chain network.
 type Float32Network struct {
-	ops   []float32Op
-	inDim int
-	inBuf *matrix.Dense[float32]
+	ops      []float32Op
+	inDim    int
+	inBuf    *matrix.Dense[float32] // batchCap × inDim input scratch
+	inView   matrix.Dense[float32]
+	batchCap int
+}
+
+// Sigmoid lookup table. kmath.Sigmoid evaluates a 12-term Taylor series
+// per call (~27 ns), which dominates single-sample inference cost: the
+// readahead model evaluates 30 sigmoids against ~345 multiply-adds. The
+// compiled float32 path instead interpolates a 2048-interval table over
+// [-16, 16] built from kmath.Sigmoid at init. Max interpolation error is
+// ~3e-6 — below float32 resolution around 0.5 — and outside the range the
+// function is flat to 1e-7, so the table clamps to its end values. Both
+// Predict and InferBatch use the same table, preserving batch/single
+// bitwise equality.
+// kernelPad is the spare backing capacity (in elements) given to the
+// matrices the fused multiply-bias kernel touches, so the amd64 SSE path
+// can run full 16-lane loads and stores past the final row.
+const kernelPad = 16
+
+const (
+	sigLutSize = 2048
+	sigLutMin  = float32(-16)
+	sigLutMax  = float32(16)
+)
+
+var (
+	sigLut      [sigLutSize + 1]float32
+	sigLutScale = float32(sigLutSize) / (sigLutMax - sigLutMin)
+)
+
+func init() {
+	for i := range sigLut {
+		x := float64(sigLutMin) + float64(i)*float64(sigLutMax-sigLutMin)/sigLutSize
+		sigLut[i] = float32(kmath.Sigmoid(x))
+	}
+}
+
+// sigmoid32 evaluates the logistic function by linear interpolation into
+// the compiled table.
+//
+//kml:hotpath
+func sigmoid32(x float32) float32 {
+	if x <= sigLutMin {
+		return sigLut[0]
+	}
+	if x >= sigLutMax {
+		return sigLut[sigLutSize]
+	}
+	p := (x - sigLutMin) * sigLutScale
+	i := int(p)
+	f := p - float32(i)
+	// The range checks above bound i to [0, sigLutSize); the mask is a
+	// semantic no-op that lets the compiler drop both bounds checks.
+	i &= sigLutSize - 1
+	lo := sigLut[i]
+	return lo + f*(sigLut[i+1]-lo)
+}
+
+// tanh32 uses the identity tanh(x) = 2σ(2x) − 1 over the same table.
+//
+//kml:hotpath
+func tanh32(x float32) float32 {
+	return 2*sigmoid32(2*x) - 1
+}
+
+// sigmoidRows, reluRows, and tanhRows apply an activation elementwise in
+// place. They are named functions (not closures) so the noalloc analyzer
+// can see the whole hot path.
+//
+//kml:hotpath
+func sigmoidRows(xs []float32) {
+	for i, v := range xs {
+		xs[i] = sigmoid32(v)
+	}
+}
+
+//kml:hotpath
+func reluRows(xs []float32) {
+	for i, v := range xs {
+		if v < 0 {
+			xs[i] = 0
+		}
+	}
+}
+
+//kml:hotpath
+func tanhRows(xs []float32) {
+	for i, v := range xs {
+		xs[i] = tanh32(v)
+	}
 }
 
 // CompileFloat32 converts a trained network to single-precision inference.
@@ -36,13 +134,11 @@ func CompileFloat32(n *Network) (*Float32Network, error) {
 	for _, l := range n.layers {
 		switch t := l.(type) {
 		case *Linear:
-			op := float32Op{
+			fn.ops = append(fn.ops, float32Op{
 				kind: kindLinear,
 				w:    toFloat32(t.w),
 				b:    toFloat32(t.b),
-				out:  matrix.New[float32](1, t.out),
-			}
-			fn.ops = append(fn.ops, op)
+			})
 		case *Softmax:
 			// Identity under argmax; skip.
 		case *activation:
@@ -65,12 +161,15 @@ func CompileFloat32(n *Network) (*Float32Network, error) {
 	if len(fn.ops) == 0 {
 		return nil, fmt.Errorf("nn: nothing to compile")
 	}
-	fn.inBuf = matrix.New[float32](1, fn.inDim)
+	fn.EnsureBatch(1)
 	return fn, nil
 }
 
+// toFloat32 narrows a float64 parameter matrix, allocating kernelPad spare
+// elements of backing capacity so MulBias32 can take its vector fast path
+// (see matrix.NewPadded).
 func toFloat32(m *Mat) *matrix.Dense[float32] {
-	out := matrix.New[float32](m.Rows(), m.Cols())
+	out := matrix.NewPadded[float32](m.Rows(), m.Cols(), kernelPad)
 	src, dst := m.Data(), out.Data()
 	for i, v := range src {
 		dst[i] = float32(v)
@@ -81,25 +180,79 @@ func toFloat32(m *Mat) *matrix.Dense[float32] {
 // InDim returns the input feature dimension.
 func (fn *Float32Network) InDim() int { return fn.inDim }
 
-// Predict runs single-sample inference on float64 features and returns
-// the argmax output index. It performs no allocation.
-func (fn *Float32Network) Predict(features []float64) int {
-	buf := fn.inBuf.Row(0)
-	if len(features) != len(buf) {
-		panic(fmt.Sprintf("nn: float32 predict got %d features, want %d", len(features), len(buf)))
+// EnsureBatch grows the network's batch scratch to hold at least rows
+// samples. InferBatch grows on demand; calling EnsureBatch up front makes
+// the very first batched call allocation-free.
+func (fn *Float32Network) EnsureBatch(rows int) {
+	if rows <= fn.batchCap {
+		return
 	}
+	fn.inBuf = matrix.New[float32](rows, fn.inDim)
+	for i := range fn.ops {
+		op := &fn.ops[i]
+		if op.kind == kindLinear {
+			op.out = matrix.NewPadded[float32](rows, op.w.Cols(), kernelPad)
+		}
+	}
+	fn.batchCap = rows
+}
+
+// Predict runs single-sample inference on float64 features and returns
+// the argmax output index. It performs no allocation. It is exactly
+// InferBatch at one row: the two paths share the fused kernel, so their
+// outputs are bitwise-identical by construction.
+func (fn *Float32Network) Predict(features []float64) int {
+	if len(features) != fn.inDim {
+		panic(fmt.Sprintf("nn: float32 predict got %d features, want %d", len(features), fn.inDim))
+	}
+	fn.inView = fn.inBuf.SliceRows(1)
+	buf := fn.inView.Row(0)
 	for i, f := range features {
 		buf[i] = float32(f)
 	}
-	out := fn.forward()
+	out := fn.forward(1)
 	return out.ArgMaxRow(0)
+}
+
+// InferBatch classifies rows samples in one fused forward pass over
+// preallocated scratch: features holds rows×InDim float64 values in
+// row-major order, and the predicted class of sample r is written to
+// classes[r]. It allocates only when rows exceeds the scratch high-water
+// mark (see EnsureBatch); at steady state it is allocation-free.
+//
+//kml:hotpath
+func (fn *Float32Network) InferBatch(features []float64, rows int, classes []int) {
+	if rows <= 0 || len(features) != rows*fn.inDim {
+		panic("nn: InferBatch feature length mismatch")
+	}
+	if len(classes) < rows {
+		panic("nn: InferBatch classes slice too short")
+	}
+	if rows > fn.batchCap {
+		fn.EnsureBatch(rows)
+	}
+	fn.inView = fn.inBuf.SliceRows(rows)
+	buf := fn.inView.Data()
+	for i, f := range features {
+		buf[i] = float32(f)
+	}
+	out := fn.forward(rows)
+	for r := 0; r < rows; r++ {
+		classes[r] = out.ArgMaxRow(r)
+	}
 }
 
 // Logits runs single-sample inference and returns the output row
 // (aliasing internal scratch, valid until the next call).
 func (fn *Float32Network) Logits(features []float64) []float32 {
 	fn.Predict(features) // fills buffers
-	return fn.ops[lastSizing(fn.ops)].out.Row(0)
+	return fn.ops[lastSizing(fn.ops)].view.Row(0)
+}
+
+// BatchLogits returns the output row for sample r of the most recent
+// InferBatch call (aliasing internal scratch, valid until the next call).
+func (fn *Float32Network) BatchLogits(r int) []float32 {
+	return fn.ops[lastSizing(fn.ops)].view.Row(r)
 }
 
 func lastSizing(ops []float32Op) int {
@@ -112,32 +265,31 @@ func lastSizing(ops []float32Op) int {
 	return last
 }
 
-func (fn *Float32Network) forward() *matrix.Dense[float32] {
-	cur := fn.inBuf
+// forward runs the compiled chain over the first rows rows of the input
+// scratch. Linear layers slice a row view of their capacity scratch and
+// run the fused multiply-bias kernel; activations are applied in place by
+// the table-driven routines above.
+//
+//kml:hotpath
+func (fn *Float32Network) forward(rows int) *matrix.Dense[float32] {
+	cur := &fn.inView
 	for i := range fn.ops {
 		op := &fn.ops[i]
 		switch op.kind {
 		case kindLinear:
-			matrix.MulInto(op.out, cur, op.w)
-			op.out.AddRowVec(op.b)
-			cur = op.out
+			op.view = op.out.SliceRows(rows)
+			matrix.MulBias32(&op.view, cur, op.w, op.b)
+			cur = &op.view
 		case kindSigmoid:
-			cur.Apply(sigmoid32)
+			sigmoidRows(cur.Data())
 		case kindReLU:
-			cur.Apply(func(x float32) float32 {
-				if x > 0 {
-					return x
-				}
-				return 0
-			})
+			reluRows(cur.Data())
 		case kindTanh:
-			cur.Apply(func(x float32) float32 { return float32(kmath.Tanh(float64(x))) })
+			tanhRows(cur.Data())
 		}
 	}
 	return cur
 }
-
-func sigmoid32(x float32) float32 { return float32(kmath.Sigmoid(float64(x))) }
 
 // ParamBytes returns the bytes held by single-precision parameters.
 func (fn *Float32Network) ParamBytes() int64 {

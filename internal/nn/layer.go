@@ -59,12 +59,14 @@ type Linear struct {
 	b       *Mat // 1 × OutDim
 	dw, db  *Mat
 
-	x     *Mat // cached input (aliased, not copied)
-	y     *Mat // output buffer
-	dIn   *Mat // gradient buffer
-	dwTmp *Mat // scratch for the per-batch weight gradient
-	dbTmp *Mat // scratch for the per-batch bias gradient
-	last  int  // batch size the buffers are sized for
+	x       *Mat // cached input (aliased, not copied)
+	yFull   *Mat // capacity-sized output buffer
+	dInFull *Mat // capacity-sized gradient buffer
+	yView   Mat  // current-batch view of yFull
+	dInView Mat  // current-batch view of dInFull
+	dwTmp   *Mat // scratch for the per-batch weight gradient
+	dbTmp   *Mat // scratch for the per-batch bias gradient
+	cap     int  // batch capacity the full buffers are sized for
 }
 
 // NewLinear returns a fully connected layer with Xavier/Glorot-uniform
@@ -104,17 +106,22 @@ func (l *Linear) Weights() *Mat { return l.w }
 // Bias returns the bias row vector (1 × OutDim).
 func (l *Linear) Bias() *Mat { return l.b }
 
+// size points the layer's output and gradient views at batch rows of
+// capacity-sized scratch, growing the scratch only when batch exceeds the
+// high-water mark — batch sizes that vary below it (the serving path)
+// never reallocate.
 func (l *Linear) size(batch int) {
-	if l.last == batch {
-		return
+	if batch > l.cap {
+		l.yFull = matrix.New[float64](batch, l.out)
+		l.dInFull = matrix.New[float64](batch, l.in)
+		if l.dwTmp == nil {
+			l.dwTmp = matrix.New[float64](l.in, l.out)
+			l.dbTmp = matrix.New[float64](1, l.out)
+		}
+		l.cap = batch
 	}
-	l.y = matrix.New[float64](batch, l.out)
-	l.dIn = matrix.New[float64](batch, l.in)
-	if l.dwTmp == nil {
-		l.dwTmp = matrix.New[float64](l.in, l.out)
-		l.dbTmp = matrix.New[float64](1, l.out)
-	}
-	l.last = batch
+	l.yView = l.yFull.SliceRows(batch)
+	l.dInView = l.dInFull.SliceRows(batch)
 }
 
 // Forward implements Layer.
@@ -124,9 +131,9 @@ func (l *Linear) Forward(in *Mat) *Mat {
 	}
 	l.size(in.Rows())
 	l.x = in
-	matrix.MulInto(l.y, in, l.w)
-	l.y.AddRowVec(l.b)
-	return l.y
+	matrix.MulInto(&l.yView, in, l.w)
+	l.yView.AddRowVec(l.b)
+	return &l.yView
 }
 
 // Backward implements Layer.
@@ -141,8 +148,8 @@ func (l *Linear) Backward(dOut *Mat) *Mat {
 	dOut.SumRowsInto(l.dbTmp)
 	matrix.AddInto(l.db, l.db, l.dbTmp)
 	// dIn = dOut·Wᵀ.
-	matrix.MulTransInto(l.dIn, dOut, l.w)
-	return l.dIn
+	matrix.MulTransInto(&l.dInView, dOut, l.w)
+	return &l.dInView
 }
 
 // Params implements Layer.
@@ -158,10 +165,13 @@ type activation struct {
 	// dfn computes the local derivative from (input, output).
 	dfn func(x, y float64) float64
 
-	x    *Mat
-	y    *Mat
-	dIn  *Mat
-	last int
+	x       *Mat
+	yFull   *Mat
+	dInFull *Mat
+	yView   Mat
+	dInView Mat
+	capRows int
+	cols    int
 }
 
 func (a *activation) Name() string { return a.name }
@@ -174,28 +184,31 @@ func (a *activation) InDim() int { return 0 }
 func (a *activation) OutDim() int { return 0 }
 
 func (a *activation) Forward(in *Mat) *Mat {
-	if a.last != in.Rows()*in.Cols() {
-		a.y = matrix.New[float64](in.Rows(), in.Cols())
-		a.dIn = matrix.New[float64](in.Rows(), in.Cols())
-		a.last = in.Rows() * in.Cols()
+	if in.Rows() > a.capRows || in.Cols() != a.cols {
+		a.yFull = matrix.New[float64](in.Rows(), in.Cols())
+		a.dInFull = matrix.New[float64](in.Rows(), in.Cols())
+		a.capRows = in.Rows()
+		a.cols = in.Cols()
 	}
+	a.yView = a.yFull.SliceRows(in.Rows())
+	a.dInView = a.dInFull.SliceRows(in.Rows())
 	a.x = in
-	xs, ys := in.Data(), a.y.Data()
+	xs, ys := in.Data(), a.yView.Data()
 	for i, v := range xs {
 		ys[i] = a.fn(v)
 	}
-	return a.y
+	return &a.yView
 }
 
 func (a *activation) Backward(dOut *Mat) *Mat {
 	if a.x == nil {
 		panic("nn: Backward before Forward")
 	}
-	xs, ys, ds, out := a.x.Data(), a.y.Data(), a.dIn.Data(), dOut.Data()
+	xs, ys, ds, out := a.x.Data(), a.yView.Data(), a.dInView.Data(), dOut.Data()
 	for i := range ds {
 		ds[i] = out[i] * a.dfn(xs[i], ys[i])
 	}
-	return a.dIn
+	return &a.dInView
 }
 
 func (a *activation) Params() []*Mat { return nil }
@@ -244,8 +257,10 @@ func NewTanh() Layer {
 // CrossEntropy loss instead (it differentiates through softmax itself),
 // so Softmax deliberately has no Backward.
 type Softmax struct {
-	y    *Mat
-	last int
+	yFull   *Mat
+	yView   Mat
+	capRows int
+	cols    int
 }
 
 // NewSoftmax returns a softmax output layer.
@@ -262,14 +277,16 @@ func (s *Softmax) OutDim() int { return 0 }
 
 // Forward implements Layer.
 func (s *Softmax) Forward(in *Mat) *Mat {
-	if s.last != in.Rows()*in.Cols() {
-		s.y = matrix.New[float64](in.Rows(), in.Cols())
-		s.last = in.Rows() * in.Cols()
+	if in.Rows() > s.capRows || in.Cols() != s.cols {
+		s.yFull = matrix.New[float64](in.Rows(), in.Cols())
+		s.capRows = in.Rows()
+		s.cols = in.Cols()
 	}
+	s.yView = s.yFull.SliceRows(in.Rows())
 	for i := 0; i < in.Rows(); i++ {
-		kmath.Softmax(s.y.Row(i), in.Row(i))
+		kmath.Softmax(s.yView.Row(i), in.Row(i))
 	}
-	return s.y
+	return &s.yView
 }
 
 // Backward implements Layer; softmax is inference-only in KML networks.

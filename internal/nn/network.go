@@ -12,6 +12,13 @@ import (
 // back-to-front gradient pass (reverse-mode automatic differentiation, §2).
 type Network struct {
 	layers []Layer
+
+	// params and grads cache the per-layer parameter and gradient
+	// matrices in layer order. The layer set is fixed at construction, so
+	// building these once removes every per-iteration slice allocation
+	// from the training step (TrainBatch and ZeroGrads are 0 allocs/op).
+	params []*Mat
+	grads  []*Mat
 }
 
 // NewNetwork builds a chain network. Adjacent layer dimensions are checked
@@ -30,7 +37,45 @@ func NewNetwork(layers ...Layer) *Network {
 			prevOut = out
 		}
 	}
-	return &Network{layers: layers}
+	n := &Network{layers: layers}
+	for _, l := range layers {
+		n.params = append(n.params, l.Params()...)
+		n.grads = append(n.grads, l.Grads()...)
+	}
+	return n
+}
+
+// Clone returns an independent deep copy of the network: parameters are
+// copied, gradient and activation scratch is fresh. Forward and Backward
+// mutate layer-owned buffers, so a Network must not be shared across
+// goroutines — the parallel experiment harness gives each worker a clone
+// instead.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		layers[i] = cloneLayer(l)
+	}
+	return NewNetwork(layers...)
+}
+
+func cloneLayer(l Layer) Layer {
+	switch t := l.(type) {
+	case *Linear:
+		c := &Linear{
+			in: t.in, out: t.out,
+			w:  t.w.Clone(),
+			b:  t.b.Clone(),
+			dw: matrix.New[float64](t.in, t.out),
+			db: matrix.New[float64](1, t.out),
+		}
+		return c
+	case *activation:
+		return &activation{name: t.name, fn: t.fn, dfn: t.dfn}
+	case *Softmax:
+		return NewSoftmax()
+	default:
+		panic(fmt.Sprintf("nn: cannot clone layer %q", l.Name()))
+	}
 }
 
 // Layers returns the network's layers in order.
@@ -78,30 +123,18 @@ func (n *Network) Backward(dOut *Mat) {
 
 // ZeroGrads clears all accumulated parameter gradients.
 func (n *Network) ZeroGrads() {
-	for _, l := range n.layers {
-		for _, g := range l.Grads() {
-			g.Zero()
-		}
+	for _, g := range n.grads {
+		g.Zero()
 	}
 }
 
-// Params returns all trainable parameters in layer order.
-func (n *Network) Params() []*Mat {
-	var ps []*Mat
-	for _, l := range n.layers {
-		ps = append(ps, l.Params()...)
-	}
-	return ps
-}
+// Params returns all trainable parameters in layer order. The slice is
+// cached at construction and must not be mutated by callers.
+func (n *Network) Params() []*Mat { return n.params }
 
-// Grads returns all gradient accumulators in layer order.
-func (n *Network) Grads() []*Mat {
-	var gs []*Mat
-	for _, l := range n.layers {
-		gs = append(gs, l.Grads()...)
-	}
-	return gs
-}
+// Grads returns all gradient accumulators in layer order. The slice is
+// cached at construction and must not be mutated by callers.
+func (n *Network) Grads() []*Mat { return n.grads }
 
 // TrainBatch runs one training iteration (forward, loss, backward,
 // optimizer step) on a batch and returns the loss. This is the "one
@@ -111,7 +144,7 @@ func (n *Network) TrainBatch(in *Mat, target Target, loss Loss, opt *SGD) float6
 	out := n.Forward(in)
 	lv := loss.Forward(out, target)
 	n.Backward(loss.Backward())
-	opt.Step(n.Params(), n.Grads())
+	opt.Step(n.params, n.grads)
 	return lv
 }
 
@@ -133,10 +166,39 @@ func (n *Network) PredictLogits(features []float64, buf *PredictBuffer) *Mat {
 	return n.Forward(buf.in)
 }
 
+// PredictBatch classifies rows samples in one batched Forward pass:
+// features holds rows×InDim values row-major, and the predicted class of
+// sample r is written to classes[r]. The input batch lives in buf and the
+// layer scratch is capacity-sized, so once buffers have grown to the
+// high-water batch size, calls with any rows up to that size are
+// allocation-free — the property the serving loop's alloc gate pins.
+func (n *Network) PredictBatch(features []float64, rows int, classes []int, buf *PredictBuffer) {
+	d := n.InDim()
+	if rows <= 0 || len(features) != rows*d {
+		panic("nn: PredictBatch feature length mismatch")
+	}
+	if len(classes) < rows {
+		panic("nn: PredictBatch classes slice too short")
+	}
+	if buf.batch == nil || buf.batch.Cols() != d || buf.batch.Rows() < rows {
+		buf.batch = matrix.New[float64](rows, d)
+	}
+	buf.view = buf.batch.SliceRows(rows)
+	copy(buf.view.Data(), features)
+	out := n.Forward(&buf.view)
+	for r := 0; r < rows; r++ {
+		classes[r] = out.ArgMaxRow(r)
+	}
+}
+
 // PredictBuffer holds the single-sample input buffer for Predict, so
 // callers control the allocation (the paper's 676 B inference scratch).
+// PredictBatch keeps its capacity-sized batch input here as well; the
+// view field re-slices it per call without allocating.
 type PredictBuffer struct {
-	in *Mat
+	in    *Mat
+	batch *Mat
+	view  Mat
 }
 
 // InferenceScratchBytes returns the bytes of reusable buffers that

@@ -1,0 +1,69 @@
+// Package parallel is the experiment harness's worker pool: a deterministic
+// fan-out of independent cells over a bounded number of goroutines.
+//
+// Experiment grids (the readahead sweep, Table 2, k-fold cross-validation)
+// are embarrassingly parallel: every cell builds its own simulation
+// environment or model from a seed that depends only on the cell's
+// coordinates, never on execution order. For runs the pool's only job is
+// scheduling; results are written into per-cell slots and assembled in
+// canonical order afterwards, so output is byte-identical for any worker
+// count — including 1, which runs inline with no goroutines at all.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n if positive, otherwise
+// GOMAXPROCS (the harness default).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs cell(0..n-1) across at most workers goroutines. Cells must be
+// independent and write results only to their own slot. Every cell is
+// attempted even if another fails; the lowest-indexed error is returned,
+// so the reported failure is deterministic regardless of scheduling.
+// workers <= 1 runs every cell inline on the calling goroutine.
+func For(n, workers int, cell func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := cell(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

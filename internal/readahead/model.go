@@ -20,6 +20,7 @@ import (
 	"repro/internal/dtree"
 	"repro/internal/features"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/workload"
 )
 
@@ -104,12 +105,29 @@ func TrainModel(net *nn.Network, x []features.Vector, y []int, cfg TrainConfig) 
 	return losses
 }
 
-// Evaluate returns classification accuracy on normalized vectors.
+// Evaluate returns classification accuracy on normalized vectors. When the
+// classifier has a fused batched path (core.BatchClassifier) the whole set
+// is classified in one call; per-sample classes are identical either way,
+// so the accuracy is too.
 func Evaluate(c core.Classifier, x []features.Vector, y []int) float64 {
 	if len(x) == 0 {
 		return 0
 	}
 	correct := 0
+	if bc, ok := c.(core.BatchClassifier); ok {
+		flat := make([]float64, len(x)*features.Count)
+		for i, v := range x {
+			features.SelectInto(flat[i*features.Count:(i+1)*features.Count], v)
+		}
+		classes := make([]int, len(x))
+		bc.PredictBatch(flat, len(x), classes)
+		for i, got := range classes {
+			if got == y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(x))
+	}
 	buf := make([]float64, features.Count)
 	for i, v := range x {
 		features.SelectInto(buf, v)
@@ -125,15 +143,23 @@ func Evaluate(c core.Classifier, x []features.Vector, y []int) float64 {
 // split and returning per-fold accuracies. Samples are shuffled first so
 // folds mix workloads.
 func KFoldCV(raw []features.Vector, labels []int, k int, cfg TrainConfig) []float64 {
+	return KFoldCVParallel(raw, labels, k, cfg, 1)
+}
+
+// KFoldCVParallel is KFoldCV with folds trained across workers goroutines
+// (0 means GOMAXPROCS). Each fold's model seed is cfg.Seed+fold and the
+// shuffle is drawn once up front, so every fold's work depends only on its
+// index — accuracies are identical for any worker count.
+func KFoldCVParallel(raw []features.Vector, labels []int, k int, cfg TrainConfig, workers int) []float64 {
 	if k < 2 || len(raw) < k {
 		panic("readahead: need k >= 2 and at least k samples")
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	order := rng.Perm(len(raw))
-	accs := make([]float64, 0, k)
+	accs := make([]float64, k)
 	foldSize := len(raw) / k
-	for fold := 0; fold < k; fold++ {
+	_ = parallel.For(k, parallel.Workers(workers), func(fold int) error {
 		lo, hi := fold*foldSize, (fold+1)*foldSize
 		if fold == k-1 {
 			hi = len(raw)
@@ -160,8 +186,9 @@ func KFoldCV(raw []features.Vector, labels []int, k int, cfg TrainConfig) []floa
 		for i, v := range testX {
 			testNormed[i] = norm.Apply(v)
 		}
-		accs = append(accs, Evaluate(NewNNClassifier(net), testNormed, testY))
-	}
+		accs[fold] = Evaluate(NewNNClassifier(net), testNormed, testY)
+		return nil
+	})
 	return accs
 }
 
@@ -189,6 +216,18 @@ func NewNNClassifier(net *nn.Network) *NNClassifier { return &NNClassifier{net: 
 // Predict implements core.Classifier.
 func (c *NNClassifier) Predict(f []float64) int { return c.net.Predict(f, &c.buf) }
 
+// PredictBatch implements core.BatchClassifier via the network's fused
+// batched forward pass.
+func (c *NNClassifier) PredictBatch(f []float64, rows int, classes []int) {
+	c.net.PredictBatch(f, rows, classes, &c.buf)
+}
+
+// CloneClassifier implements core.Cloneable with a deep copy: the network's
+// forward scratch is mutable, so parallel workers each get their own.
+func (c *NNClassifier) CloneClassifier() core.Classifier {
+	return NewNNClassifier(c.net.Clone())
+}
+
 // Name implements core.Classifier.
 func (c *NNClassifier) Name() string { return "readahead-nn" }
 
@@ -199,6 +238,7 @@ func (c *NNClassifier) Network() *nn.Network { return c.net }
 // FPU-less inference.
 type FixedClassifier struct {
 	fnet *nn.FixedNetwork
+	src  *nn.Network // retained for CloneClassifier recompilation
 }
 
 // NewFixedClassifier compiles net to Q16.16 inference.
@@ -207,11 +247,28 @@ func NewFixedClassifier(net *nn.Network) (*FixedClassifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FixedClassifier{fnet: fnet}, nil
+	return &FixedClassifier{fnet: fnet, src: net}, nil
 }
 
 // Predict implements core.Classifier.
 func (c *FixedClassifier) Predict(f []float64) int { return c.fnet.Predict(f) }
+
+// PredictBatch implements core.BatchClassifier via the fused integer path.
+func (c *FixedClassifier) PredictBatch(f []float64, rows int, classes []int) {
+	c.fnet.InferBatch(f, rows, classes)
+}
+
+// CloneClassifier implements core.Cloneable by recompiling the retained
+// source network; compilation is deterministic, so the clone predicts
+// identically.
+func (c *FixedClassifier) CloneClassifier() core.Classifier {
+	clone, err := NewFixedClassifier(c.src)
+	if err != nil {
+		// The source compiled once already; recompilation cannot fail.
+		panic(err)
+	}
+	return clone
+}
 
 // Name implements core.Classifier.
 func (c *FixedClassifier) Name() string { return "readahead-nn-fixed" }
@@ -220,6 +277,7 @@ func (c *FixedClassifier) Name() string { return "readahead-nn-fixed" }
 // core.Classifier — the paper's "floating-point" (vs double) matrix mode.
 type Float32Classifier struct {
 	fnet *nn.Float32Network
+	src  *nn.Network // retained for CloneClassifier recompilation
 }
 
 // NewFloat32Classifier compiles net to float32 inference.
@@ -228,11 +286,26 @@ func NewFloat32Classifier(net *nn.Network) (*Float32Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Float32Classifier{fnet: fnet}, nil
+	return &Float32Classifier{fnet: fnet, src: net}, nil
 }
 
 // Predict implements core.Classifier.
 func (c *Float32Classifier) Predict(f []float64) int { return c.fnet.Predict(f) }
+
+// PredictBatch implements core.BatchClassifier via the fused float32 path.
+func (c *Float32Classifier) PredictBatch(f []float64, rows int, classes []int) {
+	c.fnet.InferBatch(f, rows, classes)
+}
+
+// CloneClassifier implements core.Cloneable by recompiling the retained
+// source network.
+func (c *Float32Classifier) CloneClassifier() core.Classifier {
+	clone, err := NewFloat32Classifier(c.src)
+	if err != nil {
+		panic(err)
+	}
+	return clone
+}
 
 // Name implements core.Classifier.
 func (c *Float32Classifier) Name() string { return "readahead-nn-f32" }
@@ -258,6 +331,21 @@ func TrainTree(x []features.Vector, y []int) (*TreeClassifier, error) {
 
 // Predict implements core.Classifier.
 func (c *TreeClassifier) Predict(f []float64) int { return c.tree.Predict(f) }
+
+// PredictBatch implements core.BatchClassifier; tree traversal has no
+// batched kernel, so this is a plain loop over the pure Predict.
+func (c *TreeClassifier) PredictBatch(f []float64, rows int, classes []int) {
+	d := len(f) / rows
+	for r := 0; r < rows; r++ {
+		classes[r] = c.tree.Predict(f[r*d : (r+1)*d])
+	}
+}
+
+// CloneClassifier implements core.Cloneable. Tree traversal is pure, so
+// clones share the immutable tree.
+func (c *TreeClassifier) CloneClassifier() core.Classifier {
+	return &TreeClassifier{tree: c.tree}
+}
 
 // Name implements core.Classifier.
 func (c *TreeClassifier) Name() string { return "readahead-dtree" }

@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_json.sh — regenerate the hot-path benchmark snapshot as JSON.
+#
+# Runs the E5 overhead micro-benchmarks (single-sample and batched
+# inference in float64/float32/Q16.16, plus one online training
+# iteration) with -benchmem and converts the output to a machine-readable
+# JSON document. The checked-in snapshot is BENCH_PR4.json; regenerate
+# it with `make bench-json`.
+#
+# Usage: sh scripts/bench_json.sh [output.json]
+#   BENCHTIME=0.2s sh scripts/bench_json.sh out.json   # quick CI smoke
+#
+# Only POSIX sh + awk/sed are used: no dependencies beyond the Go
+# toolchain.
+set -eu
+
+out=${1:-BENCH_PR4.json}
+benchtime=${BENCHTIME:-1s}
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' \
+    -bench 'E5_Inference$|E5_InferenceBatched$|E5_FixedInference$|E5_FixedInferenceBatched$|E5_TrainingIteration$' \
+    -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
+
+goos=$(sed -n 's/^goos: //p' "$tmp" | head -1)
+goarch=$(sed -n 's/^goarch: //p' "$tmp" | head -1)
+cpu=$(sed -n 's/^cpu: //p' "$tmp" | head -1)
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+gover=$(go env GOVERSION)
+
+{
+    printf '{\n'
+    printf '  "pr": 4,\n'
+    printf '  "go": "%s",\n' "$gover"
+    printf '  "goos": "%s",\n' "$goos"
+    printf '  "goarch": "%s",\n' "$goarch"
+    printf '  "cpu": "%s",\n' "$cpu"
+    printf '  "cores": %s,\n' "$cores"
+    printf '  "benchtime": "%s",\n' "$benchtime"
+    printf '  "benchmarks": [\n'
+    awk '
+        /^Benchmark/ {
+            name = $1
+            sub(/^Benchmark/, "", name)
+            sub(/-[0-9]+$/, "", name)
+            printf "%s    {\"name\": \"%s\", \"iters\": %s, \"metrics\": {", sep, name, $2
+            msep = ""
+            for (i = 3; i + 1 <= NF; i += 2) {
+                printf "%s\"%s\": %s", msep, $(i + 1), $i
+                msep = ", "
+            }
+            printf "}}"
+            sep = ",\n"
+        }
+        END { printf "\n" }
+    ' "$tmp"
+    printf '  ]\n'
+    printf '}\n'
+} >"$out"
+
+echo "wrote $out"
