@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke overhead-check bench-json ci clean
+.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check bench-json ci clean
 
 all: build
 
@@ -32,6 +32,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
+	$(GO) test -run='^$$' -fuzz=FuzzTracesDecode -fuzztime=$(FUZZTIME) ./internal/dtrace/
 
 # End-to-end smoke of the serving subsystem: daemon + deploy + bench +
 # graceful shutdown on a unix socket.
@@ -43,11 +44,18 @@ serve-smoke:
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
+# End-to-end smoke of decision tracing: boot kml-served -sim (full
+# closed-loop decisions against the deployed model), pull traces over
+# MsgTraces with kml-trace, assert complete span trees and moving drift
+# gauges across a workload phase switch.
+trace-smoke:
+	sh scripts/trace_smoke.sh
+
 # Regenerate the hot-path benchmark snapshot: single-sample vs batched
 # inference (float64/float32/Q16.16) and one training iteration, as
 # machine-readable JSON. BENCHTIME shortens runs for smoke checks.
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR4.json
+	sh scripts/bench_json.sh BENCH_PR5.json
 
 # The telemetry overhead self-check in isolation: one counter add plus
 # one histogram observation must cost under the budget in
@@ -55,7 +63,7 @@ bench-json:
 overhead-check:
 	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke overhead-check kml-vet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check kml-vet
 
 clean:
 	$(GO) clean ./...

@@ -24,6 +24,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/blockdev"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/features"
 	"repro/internal/nn"
 	"repro/internal/readahead"
@@ -299,6 +300,37 @@ func BenchmarkE5_FeatureAggregation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ext.Add(features.Record{Inode: 1, Offset: int64(i % 100000)})
 	}
+}
+
+// BenchmarkE8_TraceSpan measures the full decision-trace tax: one root
+// span, four children with attributes, finish, and an arena record —
+// everything tracing adds to a decision window beyond the work itself.
+// The paper budgets ~49 ns for its per-event collection path; the whole
+// per-DECISION trace (six span writes) must stay well under the 100 ns
+// budget pinned by dtrace.TestTraceOverheadBudget. The derived
+// trace_overhead_ns metric feeds scripts/bench_json.sh.
+func BenchmarkE8_TraceSpan(b *testing.B) {
+	a := dtrace.NewArena(1024)
+	var tb dtrace.Builder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i)
+		tb.Start(a.NextID(), now)
+		si := tb.Begin(dtrace.StageFeature, 0, now)
+		tb.End(si, now+1)
+		tb.SetValue(si, 50)
+		si = tb.Begin(dtrace.StageInfer, 0, now+1)
+		tb.End(si, now+2)
+		tb.SetValue(si, 1)
+		tb.SetAux(si, 7)
+		si = tb.Begin(dtrace.StageApply, 0, now+2)
+		tb.End(si, now+3)
+		si = tb.Begin(dtrace.StageOutcome, 0, now+3)
+		tb.End(si, now+4)
+		a.Record(tb.Finish(now + 4))
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "trace_overhead_ns")
 }
 
 // BenchmarkAblation_InferencePrecision compares the three matrix

@@ -18,12 +18,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/blockdev"
+	"repro/internal/features"
 	"repro/internal/memutil"
 	"repro/internal/mserve"
+	"repro/internal/readahead"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -38,6 +44,10 @@ func main() {
 		reserveMB = flag.Int("reserve-mb", 0, "memory reservation for admission control (0 = unlimited)")
 		status    = flag.Bool("status", false, "query a running daemon's stats and exit")
 		debugAddr = flag.String("debug-addr", "", "optional HTTP debug listener (host:port) serving /metrics, expvar, pprof")
+		simN      = flag.Int("sim", 0, "run N decision windows of the simulated readahead loop against the deployed model before serving (0 = off)")
+		simWl     = flag.String("sim-workload", "readseq,readrandom", "comma-separated workload phases for -sim")
+		normFile  = flag.String("norm", "", "normalizer file for -sim (training-time stats; baselines the drift monitor)")
+		driftWin  = flag.Int("drift-window", 0, "drift-monitor window in decisions/requests (0 = default)")
 	)
 	flag.Parse()
 
@@ -49,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := mserve.Config{Registry: reg, MaxConns: *maxConns}
+	cfg := mserve.Config{Registry: reg, MaxConns: *maxConns, DriftWindow: *driftWin}
 	if *reserveMB > 0 {
 		arena := memutil.NewArena("kml-served")
 		arena.Reserve(int64(*reserveMB) << 20)
@@ -73,6 +83,12 @@ func main() {
 			fatal(fmt.Errorf("deploy %s: %w", *deploy, err))
 		}
 		fmt.Printf("deployed %s as version %d\n", *deploy, v.Number)
+	}
+
+	if *simN > 0 {
+		if err := runSim(srv, reg, *simN, *simWl, *normFile, *driftWin); err != nil {
+			fatal(fmt.Errorf("sim: %w", err))
+		}
 	}
 
 	if *debugAddr != "" {
@@ -114,6 +130,98 @@ func main() {
 	st := srv.Stats()
 	fmt.Printf("served %d inferences (%d rows), %d deploys, %d dropped events\n",
 		st.Inferences, st.Rows, st.Deploys, st.Dropped)
+}
+
+// runSim drives the full simulated decision loop — workload → tracer →
+// feature pipeline → deployed model → readahead policy → page cache —
+// for `windows` one-second decision windows, switching workload phases
+// along the way. Every decision records an end-to-end trace into the
+// server's arena (pullable via MsgTraces) and feeds the readahead drift
+// monitor, so a freshly booted daemon has real observability to show.
+func runSim(srv *mserve.Server, reg *mserve.Registry, windows int, phases, normFile string, driftWin int) error {
+	kinds, err := parseWorkloads(phases)
+	if err != nil {
+		return err
+	}
+	art, err := reg.ActiveArtifact()
+	if err != nil {
+		return fmt.Errorf("no deployed model to simulate against: %w", err)
+	}
+	inst, err := art.Instantiate()
+	if err != nil {
+		return err
+	}
+	var norm features.Normalizer
+	if normFile != "" {
+		f, err := os.Open(normFile)
+		if err != nil {
+			return err
+		}
+		norm, err = features.LoadNormalizer(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	env, err := sim.NewEnv(sim.Config{Profile: blockdev.NVMe()})
+	if err != nil {
+		return err
+	}
+	tuner, err := readahead.NewTuner(env.Dev, inst, norm, readahead.TunerConfig{})
+	if err != nil {
+		return err
+	}
+	tuner.Instrument(srv.MetricsRegistry(), 64)
+	tuner.InstrumentDrift(srv.MetricsRegistry(), driftWin)
+	tuner.EnableTracing(srv.TraceArena(), env.Cache.HitMissCounts)
+	env.Tracer.Register(tuner.Hook())
+
+	perPhase := (windows + len(kinds) - 1) / len(kinds)
+	tuner.MaybeTick(env.Clk.Now()) // arm the first window
+	decided := 0
+	for _, k := range kinds {
+		runner := env.NewRunner(k)
+		for w := 0; w < perPhase && decided < windows; w++ {
+			deadline := env.Clk.Now() + 1100*time.Millisecond
+			for env.Clk.Now() < deadline {
+				if err := runner.Step(); err != nil {
+					return err
+				}
+			}
+			tuner.MaybeTick(env.Clk.Now())
+			decided++
+		}
+	}
+	tuner.FlushTrace()
+	fmt.Printf("sim: %d decision windows across %s, %d traces retained, hit rate %.3f\n",
+		decided, phases, srv.TraceArena().Len(), env.Cache.Stats().HitRate())
+	return nil
+}
+
+// parseWorkloads maps comma-separated db_bench names to workload kinds.
+func parseWorkloads(s string) ([]workload.Kind, error) {
+	var kinds []workload.Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, k := range workload.AllKinds() {
+			if k.String() == name {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no workloads in %q", s)
+	}
+	return kinds, nil
 }
 
 func printStatus(network, addr string) int {
@@ -162,7 +270,35 @@ func printStatus(network, addr string) int {
 	for _, d := range snap.Decisions {
 		fmt.Printf("decision t=%d class=%d rows=%d v%d\n", d.TimeNanos, d.Class, d.Rows, d.Version)
 	}
+	printDriftSummary(snap)
 	return 0
+}
+
+// printDriftSummary condenses the drift gauges (registered under
+// mserve_drift for the serving path, readahead_drift for a -sim tuner)
+// into one line per monitor: max population shift in z, prediction
+// churn, windows completed, and whether the shift threshold tripped.
+func printDriftSummary(snap mserve.MetricsSnapshot) {
+	byName := make(map[string]int64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		if m.Kind != mserve.MetricHistogram {
+			byName[m.Name] = m.Value
+		}
+	}
+	for _, prefix := range []string{"mserve_drift", "readahead_drift"} {
+		windows, ok := byName[prefix+"_windows"]
+		if !ok {
+			continue
+		}
+		state := "ok"
+		if byName[prefix+"_drifted"] != 0 {
+			state = "DRIFTED"
+		}
+		fmt.Printf("drift %-15s %s max_shift=%+.2fz churn=%dpm windows=%d decisions=%d\n",
+			prefix, state,
+			float64(byName[prefix+"_max_shift_mz"])/1000,
+			byName[prefix+"_churn_pm"], windows, byName[prefix+"_decisions"])
+	}
 }
 
 func parseKind(s string) (mserve.ModelKind, error) {

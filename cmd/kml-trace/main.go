@@ -1,0 +1,179 @@
+// Command kml-trace pulls decision traces from a running kml-served and
+// renders them as span trees with per-stage latency breakdowns — the
+// operator's answer to "what did the model decide, how long did each
+// stage take, and did it help?".
+//
+// Typical use:
+//
+//	kml-trace -addr /run/kml.sock                 # everything retained
+//	kml-trace -addr /run/kml.sock -class 2        # decisions for class 2
+//	kml-trace -addr /run/kml.sock -slow 5us       # slow decisions only
+//	kml-trace -addr /run/kml.sock -since 10s      # recent decisions only
+//	kml-trace -addr /run/kml.sock -id 42          # one trace by ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/dtrace"
+	"repro/internal/mserve"
+)
+
+func main() {
+	var (
+		network = flag.String("network", "unix", "server network: unix or tcp")
+		addr    = flag.String("addr", "kml-served.sock", "server address (socket path or host:port)")
+		id      = flag.Uint64("id", 0, "show only the trace with this ID (0 = all)")
+		class   = flag.Int("class", -1, "show only decisions for this class (-1 = all)")
+		since   = flag.Duration("since", 0, "show only traces started within this window (0 = all)")
+		slow    = flag.Duration("slow", 0, "show only traces at least this long end to end (0 = all)")
+	)
+	flag.Parse()
+
+	cl, err := mserve.Dial(*network, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+	traces, err := cl.Traces()
+	if err != nil {
+		fatal(err)
+	}
+
+	shown, complete := 0, 0
+	byStage := make(map[dtrace.Stage][]int64)
+	cutoff := int64(0)
+	if *since > 0 {
+		cutoff = time.Now().Add(-*since).UnixNano()
+	}
+	for i := range traces {
+		tr := &traces[i]
+		root := tr.Root()
+		if *id != 0 && tr.ID != dtrace.TraceID(*id) {
+			continue
+		}
+		if *class >= 0 && root.Value != int64(*class) {
+			continue
+		}
+		if cutoff != 0 && root.Start < cutoff {
+			continue
+		}
+		if *slow > 0 && root.Duration() < int64(*slow) {
+			continue
+		}
+		printTrace(tr)
+		shown++
+		if tr.Complete() {
+			complete++
+		}
+		for _, sp := range tr.Used() {
+			byStage[sp.Stage] = append(byStage[sp.Stage], sp.Duration())
+		}
+	}
+	printBreakdown(byStage)
+	fmt.Printf("%d traces shown, %d complete (%d retained by server)\n",
+		shown, complete, len(traces))
+}
+
+// printTrace renders one trace as a span tree. Children of span i carry
+// Parent == i+1 (the wire format's 1-based parent index).
+func printTrace(tr *dtrace.Trace) {
+	root := tr.Root()
+	fmt.Printf("trace %d  %s  %s  %s\n",
+		tr.ID, time.Unix(0, root.Start).Format("15:04:05.000000"),
+		fmtDur(root.Duration()), spanDetail(*root))
+	printChildren(tr, 1, "  ")
+}
+
+func printChildren(tr *dtrace.Trace, parent uint8, indent string) {
+	spans := tr.Used()
+	// Find the children of `parent` to know which connector to draw.
+	last := -1
+	for i := range spans {
+		if i > 0 && spans[i].Parent == parent {
+			last = i
+		}
+	}
+	for i := range spans {
+		if i == 0 || spans[i].Parent != parent {
+			continue
+		}
+		conn := "├─"
+		if i == last {
+			conn = "└─"
+		}
+		fmt.Printf("%s%s %-10s %8s  %s\n",
+			indent, conn, spans[i].Stage, fmtDur(spans[i].Duration()), spanDetail(spans[i]))
+		printChildren(tr, uint8(i+1), indent+"   ")
+	}
+}
+
+// spanDetail renders a span's Value/Aux using the stage's documented
+// attribute semantics (see dtrace.Span).
+func spanDetail(sp dtrace.Span) string {
+	switch sp.Stage {
+	case dtrace.StageDecision:
+		if sp.Value < 0 {
+			return fmt.Sprintf("batch rows=%d", sp.Aux)
+		}
+		return fmt.Sprintf("class=%d", sp.Value)
+	case dtrace.StageFeature:
+		return fmt.Sprintf("events=%d", sp.Value)
+	case dtrace.StageNormalize:
+		return fmt.Sprintf("nfeat=%d", sp.Value)
+	case dtrace.StageInfer:
+		if sp.Value < 0 {
+			return fmt.Sprintf("batch v%d", sp.Aux)
+		}
+		return fmt.Sprintf("class=%d v%d", sp.Value, sp.Aux)
+	case dtrace.StageApply:
+		return fmt.Sprintf("readahead %d<-%d sectors", sp.Value, sp.Aux)
+	case dtrace.StageOutcome:
+		if sp.Aux < 0 {
+			return "hit rate unknown"
+		}
+		return fmt.Sprintf("hit rate %dpm (%+dpm)", sp.Aux, sp.Value)
+	case dtrace.StageParse, dtrace.StageEncode:
+		return fmt.Sprintf("bytes=%d", sp.Value)
+	}
+	return fmt.Sprintf("v=%d aux=%d", sp.Value, sp.Aux)
+}
+
+// printBreakdown summarizes per-stage latency over the shown traces.
+func printBreakdown(byStage map[dtrace.Stage][]int64) {
+	stages := make([]dtrace.Stage, 0, len(byStage))
+	for st := range byStage {
+		stages = append(stages, st)
+	}
+	if len(stages) == 0 {
+		return
+	}
+	sort.Slice(stages, func(i, j int) bool { return stages[i] < stages[j] })
+	fmt.Println("stage breakdown:")
+	for _, st := range stages {
+		ds := byStage[st]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum int64
+		for _, d := range ds {
+			sum += d
+		}
+		fmt.Printf("  %-10s n=%-5d p50=%-10s max=%-10s total=%s\n",
+			st, len(ds), fmtDur(ds[len(ds)/2]), fmtDur(ds[len(ds)-1]), fmtDur(sum))
+	}
+}
+
+func fmtDur(ns int64) string {
+	if ns < 0 {
+		return "?"
+	}
+	return time.Duration(ns).String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

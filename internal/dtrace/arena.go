@@ -1,0 +1,101 @@
+// Arena: bounded keep-latest retention of completed traces, plus the
+// TraceID mint. The storage is a preallocated power-of-two ring of
+// Trace slots written circularly — under overflow the OLDEST trace is
+// overwritten, because like a flight recorder the recent past is what
+// debugging needs. Unlike telemetry.FlightRecorder (which wraps the
+// SPSC internal/ringbuf and pays a pop+push per eviction), the arena
+// owns its ring directly so Record is exactly one slot copy; the span
+// budget in overhead_test.go is what forces that choice. Recording
+// happens once per decision window — never on the per-event hot path —
+// so a mutex is acceptable and makes Snapshot safe from any goroutine.
+package dtrace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MaxArenaCapacity bounds arena sizing, mirroring ringbuf.MaxCapacity's
+// guard against shift overflow in the rounding loop.
+const MaxArenaCapacity = 1 << 20
+
+// Arena retains the most recent completed traces and mints TraceIDs.
+type Arena struct {
+	mu    sync.Mutex
+	slots []Trace
+	mask  uint64
+	w     uint64 // total traces ever recorded
+	next  atomic.Uint64
+}
+
+// NewArena returns an arena retaining the last `capacity` traces
+// (rounded up to a power of two). It panics on a non-positive or
+// excessive capacity — a wiring error, not a runtime condition.
+func NewArena(capacity int) *Arena {
+	if capacity <= 0 || capacity > MaxArenaCapacity {
+		panic("dtrace: arena capacity out of range")
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Arena{slots: make([]Trace, c), mask: uint64(c - 1)}
+}
+
+// NextID mints a fresh trace ID. IDs start at 1; 0 never names a trace.
+//
+//kml:hotpath
+func (a *Arena) NextID() TraceID { return TraceID(a.next.Add(1)) }
+
+// Record copies a completed trace into the next slot, overwriting the
+// oldest retained trace when full. Empty traces (N == 0) are dropped.
+//
+//kml:hotpath
+func (a *Arena) Record(t *Trace) {
+	if t == nil || t.N == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.slots[a.w&a.mask] = *t
+	a.w++
+	a.mu.Unlock()
+}
+
+// Snapshot returns a copy of the retained traces, oldest first.
+func (a *Arena) Snapshot() []Trace {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.w
+	if n > uint64(len(a.slots)) {
+		n = uint64(len(a.slots))
+	}
+	out := make([]Trace, n)
+	for i := uint64(0); i < n; i++ {
+		out[i] = a.slots[(a.w-n+i)&a.mask]
+	}
+	return out
+}
+
+// Len returns the number of retained traces.
+func (a *Arena) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.w > uint64(len(a.slots)) {
+		return len(a.slots)
+	}
+	return int(a.w)
+}
+
+// Cap returns the retention capacity.
+func (a *Arena) Cap() int { return len(a.slots) }
+
+// Evicted returns how many traces have been displaced by newer ones —
+// how far back the arena's horizon has moved.
+func (a *Arena) Evicted() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.w > uint64(len(a.slots)) {
+		return a.w - uint64(len(a.slots))
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package dtrace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTracesDecode pins the canonical-encoding invariant the wire
+// format promises (the same discipline as mserve's FuzzMetricsDecode):
+// any payload ParseTraces accepts must re-encode byte-identically, and
+// the decoded traces must be structurally valid (root present, parents
+// before children, known stages).
+func FuzzTracesDecode(f *testing.F) {
+	f.Add([]byte{0, 0})
+	f.Add(AppendTraces(nil, []Trace{buildTestTrace(1)}))
+	f.Add(AppendTraces(nil, []Trace{buildTestTrace(1), buildTestTrace(2), buildTestTrace(1 << 40)}))
+	var b Builder
+	b.Start(3, 1)
+	p := b.Begin(StageParse, 0, 2)
+	b.End(p, 3)
+	c := b.Begin(StageInfer, p, 3)
+	b.End(c, 4)
+	f.Add(AppendTraces(nil, []Trace{*b.Finish(5)}))
+	f.Add([]byte{1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces, err := ParseTraces(data)
+		if err != nil {
+			return
+		}
+		for i := range traces {
+			if !traces[i].wireOK() {
+				t.Fatalf("ParseTraces accepted a non-wire-representable trace: %+v", traces[i])
+			}
+		}
+		re := AppendTraces(nil, traces)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("round-trip not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package dtrace
+
+// raceEnabled lets timing self-checks skip under the race detector.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package dtrace
+
+// raceEnabled lets timing self-checks skip under the race detector,
+// whose atomics interception would make them measure the detector.
+const raceEnabled = true

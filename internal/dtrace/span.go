@@ -1,0 +1,234 @@
+// Package dtrace is the causal layer over the tuner's closed loop: one
+// Trace per decision window, child spans for each stage the decision
+// passed through (feature aggregation, normalization, inference, the
+// readahead change applied to the device) and a follow-up span that
+// samples the cache hit-rate over the NEXT window, so every decision
+// carries its own outcome attribution. The primitives in this file obey
+// the same kernel-portability constraints as internal/telemetry: fixed
+// span slots inside a value-type Trace, integer-only fields, and
+// zero-allocation recording on the decision path.
+//
+//kml:kernelspace
+package dtrace
+
+// TraceID identifies one decision window across every span it produced.
+// IDs are minted per arena (see Arena.NextID) and are unique within a
+// process, not across restarts.
+type TraceID uint64
+
+// Stage labels what a span measured.
+type Stage uint8
+
+// Span stages, in decision-path order. Parse and Encode appear only in
+// server-side request traces (mserve), never in tuner decision traces.
+const (
+	// StageDecision is the root span covering one whole decision.
+	StageDecision Stage = iota
+	// StageFeature covers draining the event window and emitting the
+	// raw candidate feature vector.
+	StageFeature
+	// StageNormalize covers Z-score normalization of the selected
+	// features.
+	StageNormalize
+	// StageInfer covers the model forward pass.
+	StageInfer
+	// StageApply covers pushing the chosen readahead size to the
+	// device.
+	StageApply
+	// StageOutcome spans the WINDOW AFTER the decision and records the
+	// cache hit-rate it produced — the decision's reward signal.
+	StageOutcome
+	// StageParse covers request-payload decoding in the serving path.
+	StageParse
+	// StageEncode covers response encoding in the serving path.
+	StageEncode
+	// NumStages bounds the valid Stage values.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"decision", "feature", "normalize", "infer",
+	"apply", "outcome", "parse", "encode",
+}
+
+// String returns the stage name.
+func (s Stage) String() string {
+	if s < NumStages {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// MaxTraceSpans is the fixed span capacity of a Trace. The tuner path
+// uses six (root + feature/normalize/infer/apply/outcome) and the
+// serving path four, so eight leaves headroom without bloating the
+// arena slots.
+const MaxTraceSpans = 8
+
+// Span is one timed stage of a decision. Start/End are wall-clock
+// UnixNano stamps taken by the caller (the span layer never reads the
+// clock itself, keeping it portable to environments with their own
+// timebase). Value and Aux carry stage-specific integer attributes:
+//
+//	decision:  Value=predicted class, Aux=virtual decision time (ns)
+//	feature:   Value=events drained from the window
+//	normalize: Value=features normalized
+//	infer:     Value=predicted class, Aux=model version
+//	apply:     Value=new readahead sectors, Aux=previous sectors
+//	outcome:   Value=hit-rate delta (per-mille, vs previous window),
+//	           Aux=absolute next-window hit rate (per-mille, -1 unknown)
+//	parse:     Value=request payload bytes
+//	encode:    Value=response payload bytes
+type Span struct {
+	Start  int64
+	End    int64
+	Value  int64
+	Aux    int64
+	Stage  Stage
+	Parent uint8 // 1-based index of the parent span; 0 = no parent (root)
+}
+
+// Duration returns End-Start in nanoseconds (0 if the span never ended).
+func (s *Span) Duration() int64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Trace is one decision's complete span tree in a fixed-size value —
+// the arena slot type. Spans[0] is always the root; children reference
+// parents by 1-based index, so a parent always precedes its children.
+type Trace struct {
+	ID    TraceID
+	N     uint8 // spans in use (0 = empty slot)
+	Spans [MaxTraceSpans]Span
+}
+
+// Used returns the populated spans (a view, not a copy).
+func (t *Trace) Used() []Span { return t.Spans[:t.N] }
+
+// Root returns the root span, or nil for an empty trace.
+func (t *Trace) Root() *Span {
+	if t.N == 0 {
+		return nil
+	}
+	return &t.Spans[0]
+}
+
+// Complete reports whether every span in the trace was ended — the
+// smoke test's definition of "a complete span tree".
+func (t *Trace) Complete() bool {
+	if t.N == 0 {
+		return false
+	}
+	for i := 0; i < int(t.N); i++ {
+		if t.Spans[i].End < t.Spans[i].Start {
+			return false
+		}
+	}
+	return true
+}
+
+// wireOK reports whether the trace is representable in the canonical
+// wire format: at least the root span, span count within the fixed
+// capacity, every stage valid, and every parent reference pointing at
+// an EARLIER span (so decoders can build the tree in one pass).
+func (t *Trace) wireOK() bool {
+	if t.N < 1 || int(t.N) > MaxTraceSpans {
+		return false
+	}
+	for i := 0; i < int(t.N); i++ {
+		s := &t.Spans[i]
+		if s.Stage >= NumStages {
+			return false
+		}
+		if int(s.Parent) > i {
+			return false
+		}
+	}
+	return true
+}
+
+// Builder accumulates one trace on the decision path. It is a plain
+// value embedded in its owner (tuner, server connection) — no pointers,
+// no allocation — and is reused across decisions: Finish hands the
+// completed trace out by value and resets the builder.
+type Builder struct {
+	t Trace
+}
+
+// Start opens a new trace with the root decision span. Any trace under
+// construction is discarded.
+//
+//kml:hotpath
+func (b *Builder) Start(id TraceID, startNS int64) {
+	b.t.ID = id
+	b.t.N = 1
+	b.t.Spans[0] = Span{Stage: StageDecision, Start: startNS}
+}
+
+// Begin opens a child span under the span at index parent and returns
+// its index, or -1 if the trace is full or not started — callers pass
+// the index back to End/SetValue/SetAux, which tolerate -1, so an
+// overflowing trace degrades to missing spans rather than corruption.
+//
+//kml:hotpath
+func (b *Builder) Begin(stage Stage, parent int, startNS int64) int {
+	if b.t.N == 0 || int(b.t.N) >= MaxTraceSpans {
+		return -1
+	}
+	if parent < 0 || parent >= int(b.t.N) {
+		return -1
+	}
+	idx := int(b.t.N)
+	b.t.Spans[idx] = Span{Stage: stage, Parent: uint8(parent + 1), Start: startNS}
+	b.t.N++
+	return idx
+}
+
+// End stamps the span's end time. A negative or stale index is ignored.
+//
+//kml:hotpath
+func (b *Builder) End(idx int, endNS int64) {
+	if idx < 0 || idx >= int(b.t.N) {
+		return
+	}
+	b.t.Spans[idx].End = endNS
+}
+
+// SetValue sets the span's primary attribute (see Span for semantics).
+//
+//kml:hotpath
+func (b *Builder) SetValue(idx int, v int64) {
+	if idx < 0 || idx >= int(b.t.N) {
+		return
+	}
+	b.t.Spans[idx].Value = v
+}
+
+// SetAux sets the span's secondary attribute.
+//
+//kml:hotpath
+func (b *Builder) SetAux(idx int, v int64) {
+	if idx < 0 || idx >= int(b.t.N) {
+		return
+	}
+	b.t.Spans[idx].Aux = v
+}
+
+// Active reports whether a trace is under construction.
+func (b *Builder) Active() bool { return b.t.N > 0 }
+
+// Finish closes the root span (if the caller has not already) and
+// returns the completed trace. The pointer aliases the builder's
+// storage — copy-free on the decision path — and stays valid until the
+// next Start, which begins a fresh trace over the same slot.
+//
+//kml:hotpath
+func (b *Builder) Finish(endNS int64) *Trace {
+	if b.t.N > 0 && b.t.Spans[0].End == 0 {
+		b.t.Spans[0].End = endNS
+	}
+	return &b.t
+}

@@ -1,0 +1,108 @@
+// Canonical binary encoding of trace batches, in the style of
+// mserve's MsgMetrics payload: little-endian, length-prefixed, and
+// CANONICAL — for every payload ParseTraces accepts,
+// AppendTraces(nil, ParseTraces(b)) == b, pinned by FuzzTracesDecode.
+//
+// Layout:
+//
+//	u16 ntraces                      (<= MaxWireTraces)
+//	per trace:
+//	  u64 id
+//	  u8  nspans                     (1..MaxTraceSpans)
+//	  per span:
+//	    u8  stage                    (< NumStages)
+//	    u8  parent                   (1-based, references an earlier span)
+//	    u64 value | u64 aux | u64 start | u64 end
+package dtrace
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// MaxWireTraces bounds one payload: 512 full traces encode to ~140 KiB,
+// comfortably inside mserve's 1 MiB MaxPayload.
+const MaxWireTraces = 512
+
+const spanWireSize = 1 + 1 + 8 + 8 + 8 + 8
+
+// ErrBadTraceWire reports a malformed or non-canonical trace payload.
+var ErrBadTraceWire = errors.New("dtrace: malformed trace payload")
+
+// AppendTraces appends the canonical encoding of traces to dst. Traces
+// the wire format cannot represent (empty, invalid stage or parent) are
+// skipped, and at most MaxWireTraces are encoded — newest last, oldest
+// dropped first, matching the arena's keep-latest policy.
+func AppendTraces(dst []byte, traces []Trace) []byte {
+	ok := make([]int, 0, len(traces))
+	for i := range traces {
+		if traces[i].wireOK() {
+			ok = append(ok, i)
+		}
+	}
+	if len(ok) > MaxWireTraces {
+		ok = ok[len(ok)-MaxWireTraces:]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(ok)))
+	for _, i := range ok {
+		t := &traces[i]
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(t.ID))
+		dst = append(dst, t.N)
+		for j := 0; j < int(t.N); j++ {
+			s := &t.Spans[j]
+			dst = append(dst, byte(s.Stage), s.Parent)
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Value))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Aux))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Start))
+			dst = binary.LittleEndian.AppendUint64(dst, uint64(s.End))
+		}
+	}
+	return dst
+}
+
+// ParseTraces decodes a canonical trace payload. It rejects truncated
+// input, trailing bytes, span counts outside 1..MaxTraceSpans, unknown
+// stages, and forward parent references.
+func ParseTraces(b []byte) ([]Trace, error) {
+	if len(b) < 2 {
+		return nil, ErrBadTraceWire
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if n > MaxWireTraces {
+		return nil, ErrBadTraceWire
+	}
+	out := make([]Trace, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 9 {
+			return nil, ErrBadTraceWire
+		}
+		t := &out[i]
+		t.ID = TraceID(binary.LittleEndian.Uint64(b))
+		t.N = b[8]
+		b = b[9:]
+		if t.N < 1 || int(t.N) > MaxTraceSpans {
+			return nil, ErrBadTraceWire
+		}
+		for j := 0; j < int(t.N); j++ {
+			if len(b) < spanWireSize {
+				return nil, ErrBadTraceWire
+			}
+			s := &t.Spans[j]
+			s.Stage = Stage(b[0])
+			s.Parent = b[1]
+			if s.Stage >= NumStages || int(s.Parent) > j {
+				return nil, ErrBadTraceWire
+			}
+			s.Value = int64(binary.LittleEndian.Uint64(b[2:]))
+			s.Aux = int64(binary.LittleEndian.Uint64(b[10:]))
+			s.Start = int64(binary.LittleEndian.Uint64(b[18:]))
+			s.End = int64(binary.LittleEndian.Uint64(b[26:]))
+			b = b[spanWireSize:]
+		}
+	}
+	if len(b) != 0 {
+		return nil, ErrBadTraceWire
+	}
+	return out, nil
+}

@@ -189,6 +189,19 @@ func FitNormalizer(raw []Vector) Normalizer {
 	return n
 }
 
+// SelectedStats returns the training-time mean and standard deviation
+// of each SELECTED candidate, in model input order — the frozen
+// population statistics a drift monitor compares live feature windows
+// against (the normalizer is exactly where training-time distribution
+// knowledge survives into deployment).
+func (n Normalizer) SelectedStats() (means, stds [Count]float64) {
+	for i, c := range Selected {
+		means[i] = n.Z[c].Mean
+		stds[i] = n.Z[c].StdDev
+	}
+	return means, stds
+}
+
 // zClip bounds standardized features. Deployment windows from never-seen
 // workloads can sit far outside the training distribution on one feature
 // (mixgraph's offset deviation, for example); without clipping such a

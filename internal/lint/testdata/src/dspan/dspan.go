@@ -1,0 +1,85 @@
+// Package dspan pins the analyzers' behavior on the decision-trace span
+// shape (internal/dtrace): fixed-slot span storage mutated in place
+// through a builder. The clean form — integer timestamps, indexed writes
+// into an embedded array, a pointer return aliasing builder storage —
+// must pass both the nofloat and noalloc rules; the tempting forms — a
+// float latency summary on the kernel arena, or allocating a fresh trace
+// per decision — must be reported.
+//
+//kml:kernelspace
+package dspan
+
+const maxSpans = 8
+
+type span struct {
+	start, end int64
+	value      int64
+	stage      uint8
+	parent     uint8
+}
+
+type trace struct {
+	id    uint64
+	n     uint8
+	spans [maxSpans]span
+}
+
+type builder struct {
+	t trace
+}
+
+// start is the clean hot-path form: reset in place, no allocation, all
+// integer time. The analyzers must stay quiet.
+//
+//kml:hotpath
+func (b *builder) start(id uint64, now int64) {
+	b.t.id = id
+	b.t.n = 1
+	b.t.spans[0] = span{start: now}
+}
+
+// begin opens a child span in the next fixed slot — an indexed write,
+// not an append — and must pass.
+//
+//kml:hotpath
+func (b *builder) begin(stage uint8, now int64) int {
+	if b.t.n == 0 || int(b.t.n) >= maxSpans {
+		return -1
+	}
+	i := int(b.t.n)
+	b.t.spans[i] = span{start: now, stage: stage, parent: 1}
+	b.t.n++
+	return i
+}
+
+// finish returns a pointer into the builder's own storage: aliasing is
+// the zero-copy contract, not an allocation.
+//
+//kml:hotpath
+func (b *builder) finish(now int64) *trace {
+	if b.t.n > 0 && b.t.spans[0].end == 0 {
+		b.t.spans[0].end = now
+	}
+	return &b.t
+}
+
+// meanNanos summarizes span latency with floating point — fine in a
+// userspace exposition layer, planted here to confirm the kernelspace
+// annotation catches it.
+func (b *builder) meanNanos() float64 { // want:nofloat
+	var sum int64
+	for i := 0; i < int(b.t.n); i++ {
+		sum += b.t.spans[i].end - b.t.spans[i].start
+	}
+	return float64(sum) / float64(b.t.n) // want:nofloat
+}
+
+// finishAlloc copies the trace into a fresh heap object per decision —
+// exactly the per-record allocation the arena design avoids.
+//
+//kml:hotpath
+func (b *builder) finishAlloc(now int64) *trace {
+	b.t.spans[0].end = now
+	out := &trace{id: b.t.id, n: b.t.n} // want:noalloc
+	return out
+}

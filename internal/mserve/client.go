@@ -9,6 +9,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"repro/internal/dtrace"
 )
 
 // ErrRemote wraps a MsgError response from the server; the connection
@@ -155,6 +157,15 @@ func (cl *Client) Metrics() (MetricsSnapshot, error) {
 		return MetricsSnapshot{}, err
 	}
 	return ParseMetrics(resp)
+}
+
+// Traces fetches the server's retained decision traces, oldest first.
+func (cl *Client) Traces() ([]dtrace.Trace, error) {
+	_, resp, err := cl.do(MsgTraces, nil)
+	if err != nil {
+		return nil, err
+	}
+	return dtrace.ParseTraces(resp)
 }
 
 // Health reports whether the server is serving, the active version, and

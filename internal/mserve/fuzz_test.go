@@ -5,8 +5,21 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"repro/internal/dtrace"
 	"repro/internal/telemetry"
 )
+
+// dtraceSeedTrace builds a small well-formed trace for fuzz seeding.
+func dtraceSeedTrace() dtrace.Trace {
+	var b dtrace.Builder
+	b.Start(9, 100)
+	i := b.Begin(dtrace.StageParse, 0, 110)
+	b.End(i, 120)
+	b.SetValue(i, 34)
+	i = b.Begin(dtrace.StageInfer, 0, 130)
+	b.End(i, 150)
+	return *b.Finish(160)
+}
 
 // FuzzFrameDecode drives the wire-frame decoder with hostile input. The
 // decoder sits on the network boundary, so it faces exactly the bug class
@@ -22,6 +35,9 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add(AppendFrame(nil, MsgError, []byte("boom")))
 	// Two frames back to back: the stream case.
 	f.Add(AppendFrame(AppendFrame(nil, MsgHealth, nil), MsgStats, []byte{1, 2, 3}))
+	// A traces frame carrying a canonical dtrace payload.
+	tb := dtraceSeedTrace()
+	f.Add(AppendFrame(nil, MsgTraces, dtrace.AppendTraces(nil, []dtrace.Trace{tb})))
 	// Truncated header and truncated payload.
 	f.Add([]byte{'K', 'M', 1})
 	f.Add(AppendFrame(nil, MsgInfer, []byte("abc"))[:HeaderSize+1])

@@ -37,6 +37,10 @@ const (
 	// (see AppendMetrics in metrics.go for the layout). Stats stays
 	// byte-compatible; Metrics is the richer, growable surface.
 	MsgMetrics MsgType = 7
+	// MsgTraces: empty request; response is the server's retained
+	// decision traces in dtrace's canonical wire format (see
+	// dtrace.AppendTraces for the layout).
+	MsgTraces MsgType = 8
 	// MsgError: server→client only; payload is a UTF-8 message.
 	MsgError MsgType = 0x7F
 )

@@ -218,7 +218,7 @@ func (r *Registry) Put(kind ModelKind, name string, data []byte) (Version, error
 	if int64(len(data)) > MaxPayload {
 		return Version{}, ErrModelTooLarge
 	}
-	if _, _, _, err := parseModel(kind, data); err != nil {
+	if _, _, _, _, err := parseModel(kind, data); err != nil {
 		return Version{}, err
 	}
 	sum := sha256.Sum256(data)
@@ -348,11 +348,11 @@ func (r *Registry) Artifact(number uint64) (*Artifact, error) {
 	if crc32.ChecksumIEEE(data) != v.CRC {
 		return nil, fmt.Errorf("%w: version %d: checksum mismatch", ErrCorruptObject, number)
 	}
-	_, _, inDim, err := parseModel(v.Kind, data)
+	_, _, inDim, outDim, err := parseModel(v.Kind, data)
 	if err != nil {
 		return nil, fmt.Errorf("%w: version %d: %v", ErrCorruptObject, number, err)
 	}
-	return &Artifact{Version: v, InDim: inDim, Data: data}, nil
+	return &Artifact{Version: v, InDim: inDim, OutDim: outDim, Data: data}, nil
 }
 
 // ActiveArtifact loads the active version's artifact.
@@ -465,18 +465,19 @@ func validateName(name string) error {
 type Artifact struct {
 	Version Version
 	InDim   int // model input width, from parsing the artifact
+	OutDim  int // model output width (class count), from parsing the artifact
 	Data    []byte
 }
 
 // Instantiate parses the artifact into a ready-to-serve Instance.
 func (a *Artifact) Instantiate() (*Instance, error) {
-	net, tree, inDim, err := parseModel(a.Version.Kind, a.Data)
+	net, tree, inDim, outDim, err := parseModel(a.Version.Kind, a.Data)
 	if err != nil {
 		return nil, err
 	}
 	return &Instance{
 		version: a.Version.Number, kind: a.Version.Kind, name: a.Version.Name,
-		inDim: inDim, net: net, tree: tree,
+		inDim: inDim, outDim: outDim, net: net, tree: tree,
 	}, nil
 }
 
@@ -489,6 +490,7 @@ type Instance struct {
 	kind    ModelKind
 	name    string
 	inDim   int
+	outDim  int
 	net     *nn.Network
 	buf     nn.PredictBuffer
 	tree    *dtree.Tree
@@ -537,21 +539,25 @@ func (m *Instance) Kind() ModelKind { return m.kind }
 // feature count are rejected before Predict.
 func (m *Instance) InDim() int { return m.inDim }
 
-func parseModel(kind ModelKind, data []byte) (*nn.Network, *dtree.Tree, int, error) {
+// OutDim returns the model's output width — the number of classes it
+// predicts over, which sizes the drift monitor's class distribution.
+func (m *Instance) OutDim() int { return m.outDim }
+
+func parseModel(kind ModelKind, data []byte) (*nn.Network, *dtree.Tree, int, int, error) {
 	switch kind {
 	case KindNN:
 		net, err := nn.Load(bytes.NewReader(data))
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
-		return net, nil, net.InDim(), nil
+		return net, nil, net.InDim(), net.OutDim(), nil
 	case KindDTree:
 		tree, err := dtree.Load(bytes.NewReader(data))
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
-		return nil, tree, tree.Features(), nil
+		return nil, tree, tree.Features(), tree.Classes(), nil
 	default:
-		return nil, nil, 0, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
+		return nil, nil, 0, 0, fmt.Errorf("%w: %d", ErrBadKind, uint8(kind))
 	}
 }

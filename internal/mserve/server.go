@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/memutil"
 	"repro/internal/telemetry"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	ConnBytes int64
 	// CollectCapacity sizes the collection ring; 0 means 4096 samples.
 	CollectCapacity int
+	// TraceCapacity sizes the request-trace arena (keep-latest); 0
+	// means 256 traces.
+	TraceCapacity int
+	// DriftWindow is decisions per drift evaluation window; 0 means
+	// dtrace.DefaultDriftWindow.
+	DriftWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CollectCapacity == 0 {
 		c.CollectCapacity = 4096
+	}
+	if c.TraceCapacity == 0 {
+		c.TraceCapacity = 256
 	}
 	return c
 }
@@ -101,13 +111,20 @@ type Server struct {
 	arenaRejects atomic.Uint64
 
 	reg      *telemetry.Registry
-	reqNanos [8]*telemetry.Histogram // indexed by request MsgType
+	reqNanos [9]*telemetry.Histogram // indexed by request MsgType
 	flight   *telemetry.FlightRecorder[MetricsDecision]
+
+	// traces retains per-request span trees (root/parse/infer/encode)
+	// for the inference endpoints; drift holds the monitor for the
+	// CURRENTLY deployed model, rebuilt on every swap so its shape and
+	// baseline always match what is serving.
+	traces *dtrace.Arena
+	drift  atomic.Pointer[dtrace.DriftMonitor]
 }
 
 // reqHistNames maps request MsgTypes to their latency-histogram names.
 // Index 0 and MsgError have no histogram; the dispatch timer skips them.
-var reqHistNames = [8]string{
+var reqHistNames = [9]string{
 	MsgInfer:      "mserve_infer_ns",
 	MsgBatchInfer: "mserve_batch_infer_ns",
 	MsgDeploy:     "mserve_deploy_ns",
@@ -115,6 +132,7 @@ var reqHistNames = [8]string{
 	MsgStats:      "mserve_stats_ns",
 	MsgHealth:     "mserve_health_ns",
 	MsgMetrics:    "mserve_metrics_ns",
+	MsgTraces:     "mserve_traces_ns",
 }
 
 // flightDepth is how many served decisions the flight recorder retains.
@@ -135,6 +153,7 @@ func NewServer(cfg Config) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 		reg:    telemetry.NewRegistry(),
 		flight: telemetry.NewFlightRecorder[MetricsDecision](flightDepth),
+		traces: dtrace.NewArena(cfg.TraceCapacity),
 	}
 	for typ, name := range reqHistNames {
 		if name != "" {
@@ -189,8 +208,30 @@ func NewServer(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.dep.Swap(a, a.Version.Number)
+		s.installDrift(a)
 	}
 	return s, nil
+}
+
+// installDrift rebuilds the drift monitor for a freshly deployed
+// artifact. The server has no training-time feature statistics for an
+// arbitrary uploaded model, so the monitor self-baselines on its first
+// window: drift is then "the traffic no longer looks like it did when
+// this version went live", which is the operable signal a serving tier
+// can actually compute. Gauges register once under mserve_drift and are
+// re-pointed at the new monitor's windows.
+func (s *Server) installDrift(a *Artifact) {
+	if a.InDim <= 0 || a.OutDim <= 0 {
+		s.drift.Store(nil)
+		return
+	}
+	m := dtrace.NewDriftMonitor(dtrace.DriftConfig{
+		Features: a.InDim,
+		Classes:  a.OutDim,
+		Window:   s.cfg.DriftWindow,
+	})
+	m.RegisterMetrics(s.reg, "mserve_drift")
+	s.drift.Store(m)
 }
 
 // Deployment returns the server's hot-swap handle, for in-process readers
@@ -211,6 +252,7 @@ func (s *Server) Deploy(kind ModelKind, name string, model []byte) (Version, err
 		return Version{}, err
 	}
 	s.dep.Swap(a, v.Number)
+	s.installDrift(a)
 	return v, nil
 }
 
@@ -227,6 +269,7 @@ func (s *Server) Rollback() (Version, error) {
 		return Version{}, err
 	}
 	s.dep.Swap(a, v.Number)
+	s.installDrift(a)
 	return v, nil
 }
 
@@ -285,6 +328,24 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	snap.Decisions = s.flight.Snapshot()
 	return snap
+}
+
+// TraceArena exposes the server's request-trace arena, so an embedding
+// process (kml-served) can record co-located tuner decision traces into
+// the same pool MsgTraces serves.
+func (s *Server) TraceArena() *dtrace.Arena { return s.traces }
+
+// Traces returns the retained request traces, oldest first.
+func (s *Server) Traces() []dtrace.Trace { return s.traces.Snapshot() }
+
+// Drift returns the drift report for the currently deployed model, or
+// false if nothing is deployed.
+func (s *Server) Drift() (dtrace.DriftReport, bool) {
+	m := s.drift.Load()
+	if m == nil {
+		return dtrace.DriftReport{}, false
+	}
+	return m.Report(), true
 }
 
 // ServedByVersion returns rows served per model version, as aggregated by
@@ -406,6 +467,7 @@ type srvConn struct {
 	classes    []uint16
 	rowClasses []int
 	inst       *Instance
+	tb         dtrace.Builder // per-connection span builder (alloc-free)
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -494,6 +556,9 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 	case MsgMetrics:
 		sc.resp = AppendMetrics(sc.resp[:0], s.Metrics())
 		return MsgMetrics, sc.resp
+	case MsgTraces:
+		sc.resp = dtrace.AppendTraces(sc.resp[:0], s.Traces())
+		return MsgTraces, sc.resp
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {
@@ -534,18 +599,40 @@ func (s *Server) doInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if len(sc.feats) < inst.InDim() {
 		sc.feats = make([]float64, inst.InDim())
 	}
+	// Per-request trace: parse → infer → encode under one root span. The
+	// builder is per-connection scratch; an error return abandons the
+	// half-built trace (the next Start resets it), so only successful
+	// requests reach the arena. All of this is alloc-free — the batch
+	// alloc gate (TestBatchInferAllocFree) pins that.
+	sc.tb.Start(s.traces.NextID(), time.Now().UnixNano())
+	ps := sc.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
 	n, err := ParseInferReq(p, sc.feats)
+	sc.tb.End(ps, time.Now().UnixNano())
+	sc.tb.SetValue(ps, int64(len(p)))
 	if err != nil {
 		return s.errorResp(sc, "bad infer payload")
 	}
 	if n != inst.InDim() {
 		return s.errorResp(sc, fmt.Sprintf("feature count %d, model wants %d", n, inst.InDim()))
 	}
+	is := sc.tb.Begin(dtrace.StageInfer, 0, time.Now().UnixNano())
 	class := inst.Predict(sc.feats[:n])
+	sc.tb.End(is, time.Now().UnixNano())
+	sc.tb.SetValue(is, int64(class))
+	sc.tb.SetAux(is, int64(inst.Version()))
+	if m := s.drift.Load(); m != nil {
+		m.Observe(sc.feats[:n], class)
+	}
 	s.inferences.Add(1)
 	s.rows.Add(1)
 	s.pipeline.Collect(Sample{Version: inst.Version(), Class: int32(class), Rows: 1})
+	es := sc.tb.Begin(dtrace.StageEncode, 0, time.Now().UnixNano())
 	sc.resp = AppendInferResp(sc.resp[:0], uint16(class), inst.Version())
+	sc.tb.End(es, time.Now().UnixNano())
+	sc.tb.SetValue(es, int64(len(sc.resp)))
+	sc.tb.SetValue(0, int64(class))
+	sc.tb.SetAux(0, 1)
+	s.traces.Record(sc.tb.Finish(time.Now().UnixNano()))
 	return MsgInfer, sc.resp
 }
 
@@ -563,7 +650,11 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if need := batchFloats(p, inst.InDim()); need > len(sc.feats) {
 		sc.feats = make([]float64, need)
 	}
+	sc.tb.Start(s.traces.NextID(), time.Now().UnixNano())
+	ps := sc.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
 	rows, nfeat, err := ParseBatchInferReq(p, sc.feats)
+	sc.tb.End(ps, time.Now().UnixNano())
+	sc.tb.SetValue(ps, int64(len(p)))
 	if err != nil {
 		return s.errorResp(sc, "bad batch payload")
 	}
@@ -576,14 +667,27 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if len(sc.rowClasses) < rows {
 		sc.rowClasses = make([]int, rows)
 	}
+	is := sc.tb.Begin(dtrace.StageInfer, 0, time.Now().UnixNano())
 	inst.PredictBatch(sc.feats[:rows*nfeat], rows, sc.rowClasses)
+	sc.tb.End(is, time.Now().UnixNano())
+	sc.tb.SetValue(is, -1) // no single class for a batch
+	sc.tb.SetAux(is, int64(inst.Version()))
 	for i := 0; i < rows; i++ {
 		sc.classes[i] = uint16(sc.rowClasses[i])
+	}
+	if m := s.drift.Load(); m != nil {
+		m.ObserveBatch(sc.feats[:rows*nfeat], rows, nfeat, sc.rowClasses[:rows])
 	}
 	s.inferences.Add(1)
 	s.rows.Add(uint64(rows))
 	s.pipeline.Collect(Sample{Version: inst.Version(), Class: -1, Rows: int32(rows)})
+	es := sc.tb.Begin(dtrace.StageEncode, 0, time.Now().UnixNano())
 	sc.resp = AppendBatchInferResp(sc.resp[:0], sc.classes[:rows], inst.Version())
+	sc.tb.End(es, time.Now().UnixNano())
+	sc.tb.SetValue(es, int64(len(sc.resp)))
+	sc.tb.SetValue(0, -1)
+	sc.tb.SetAux(0, int64(rows))
+	s.traces.Record(sc.tb.Finish(time.Now().UnixNano()))
 	return MsgBatchInfer, sc.resp
 }
 

@@ -40,6 +40,17 @@ type FixedNetwork struct {
 // InDim returns the input feature dimension.
 func (fn *FixedNetwork) InDim() int { return fn.inDim }
 
+// OutDim returns the output dimension (the class count), taken from the
+// last linear op's weight columns.
+func (fn *FixedNetwork) OutDim() int {
+	for i := len(fn.ops) - 1; i >= 0; i-- {
+		if fn.ops[i].w != nil {
+			return fn.ops[i].w.Cols()
+		}
+	}
+	return 0
+}
+
 // PredictQ runs single-sample inference on pre-quantized features and
 // returns the argmax output index. It performs no allocation and no
 // floating-point arithmetic.

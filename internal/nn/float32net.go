@@ -180,6 +180,17 @@ func toFloat32(m *Mat) *matrix.Dense[float32] {
 // InDim returns the input feature dimension.
 func (fn *Float32Network) InDim() int { return fn.inDim }
 
+// OutDim returns the output dimension (the class count), taken from the
+// last linear op's weight columns.
+func (fn *Float32Network) OutDim() int {
+	for i := len(fn.ops) - 1; i >= 0; i-- {
+		if fn.ops[i].w != nil {
+			return fn.ops[i].w.Cols()
+		}
+	}
+	return 0
+}
+
 // EnsureBatch grows the network's batch scratch to hold at least rows
 // samples. InferBatch grows on demand; calling EnsureBatch up front makes
 // the very first batched call allocation-free.

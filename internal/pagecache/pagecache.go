@@ -773,6 +773,14 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears statistics without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// HitMissCounts returns the cumulative hit and miss counters — the pair
+// a decision trace samples at window boundaries to attribute the cache
+// behaviour that followed each readahead change (dtrace StageOutcome).
+// Counting matches Stats.HitRate: wait-hits are not hits.
+func (c *Cache) HitMissCounts() (hits, misses uint64) {
+	return c.stats.Hits, c.stats.Misses
+}
+
 // HitRate returns hits/(hits+misses), or 0 before any access.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blockdev"
 	"repro/internal/core"
+	"repro/internal/dtrace"
 	"repro/internal/features"
 	"repro/internal/mserve"
 	"repro/internal/telemetry"
@@ -79,17 +80,41 @@ type Tuner struct {
 	started  bool
 
 	decisions []Decision
+	seq       uint64 // monotonic decision counter (first decision = 1)
 
 	inferNanos *telemetry.Histogram
 	classCount [workload.NumClasses]*telemetry.Counter
 	flight     *telemetry.FlightRecorder[FlightEntry]
+
+	// Decision tracing (EnableTracing) and drift detection
+	// (InstrumentDrift). The builder and scratch are owned by the tuner
+	// so a traced tick allocates nothing.
+	arena      *dtrace.Arena
+	outcome    OutcomeSampler
+	builder    dtrace.Builder
+	pendingOut bool   // a trace is open, waiting for its outcome window
+	outcomeIdx int    // index of the open outcome span
+	outHits    uint64 // cache counters at the decision instant
+	outMisses  uint64
+	prevRatePM int64 // previous window's hit rate (per-mille, -1 unknown)
+	drift      *dtrace.DriftMonitor
+	driftFeats []float64
 }
+
+// OutcomeSampler reports cumulative cache hit/miss counters; the tuner
+// samples it at decision boundaries to attribute each decision's
+// outcome (pagecache.Cache.HitMissCounts is the canonical source).
+type OutcomeSampler func() (hits, misses uint64)
 
 // FlightEntry is one flight-recorder record: the decision plus the
 // normalized feature vector the model saw, so an operator inspecting
-// "why did it pick class 1?" gets the inputs alongside the output.
+// "why did it pick class 1?" gets the inputs alongside the output. Seq
+// is the tuner's monotonic decision number (1 for the first decision),
+// so interleaved dumps from several snapshots can be ordered and gaps
+// (evicted entries) detected.
 type FlightEntry struct {
 	Decision
+	Seq      uint64
 	Features [features.Count]float64
 }
 
@@ -109,13 +134,15 @@ func NewTuner(dev *blockdev.Device, model core.Classifier, norm features.Normali
 		cfg.Policy = DefaultPolicy(dev.Profile())
 	}
 	t := &Tuner{
-		dev:     dev,
-		model:   model,
-		norm:    norm,
-		policy:  cfg.Policy,
-		window:  cfg.Window,
-		ext:     features.NewExtractor(),
-		featBuf: make([]float64, features.Count),
+		dev:        dev,
+		model:      model,
+		norm:       norm,
+		policy:     cfg.Policy,
+		window:     cfg.Window,
+		ext:        features.NewExtractor(),
+		featBuf:    make([]float64, features.Count),
+		driftFeats: make([]float64, features.Count),
+		prevRatePM: -1,
 	}
 	p, err := core.NewPipeline[features.Record](
 		core.Config{BufferCapacity: cfg.BufferCapacity, SampleBytes: 32},
@@ -205,10 +232,30 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		}
 		model, version = snap.Model, snap.Version
 	}
+	// The window that just elapsed is the previous decision's outcome
+	// window: attribute it and retire that trace before deciding again.
+	t.closePendingTrace()
+	tracing := t.arena != nil
+	var featIdx, normIdx, inferIdx int
+	if tracing {
+		t.builder.Start(t.arena.NextID(), time.Now().UnixNano())
+		t.builder.SetAux(0, int64(now))
+		featIdx = t.builder.Begin(dtrace.StageFeature, 0, time.Now().UnixNano())
+	}
 	events := t.ext.Events()
 	raw := t.ext.Emit(t.dev.ReadaheadSectors())
+	if tracing {
+		t.builder.End(featIdx, time.Now().UnixNano())
+		t.builder.SetValue(featIdx, int64(events))
+		normIdx = t.builder.Begin(dtrace.StageNormalize, 0, time.Now().UnixNano())
+	}
 	norm := t.norm
 	norm.ApplyInto(t.featBuf, raw)
+	if tracing {
+		t.builder.End(normIdx, time.Now().UnixNano())
+		t.builder.SetValue(normIdx, int64(len(t.featBuf)))
+		inferIdx = t.builder.Begin(dtrace.StageInfer, 0, time.Now().UnixNano())
+	}
 	var class int
 	if t.inferNanos != nil {
 		start := time.Now()
@@ -217,8 +264,30 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 	} else {
 		class = model.Predict(t.featBuf)
 	}
+	if tracing {
+		t.builder.End(inferIdx, time.Now().UnixNano())
+		t.builder.SetValue(inferIdx, int64(class))
+		t.builder.SetAux(inferIdx, int64(version))
+	}
 	sectors := t.policy[class%len(t.policy)]
-	t.dev.SetReadahead(sectors)
+	if tracing {
+		applyIdx := t.builder.Begin(dtrace.StageApply, 0, time.Now().UnixNano())
+		t.builder.SetAux(applyIdx, int64(t.dev.ReadaheadSectors()))
+		t.dev.SetReadahead(sectors)
+		t.builder.End(applyIdx, time.Now().UnixNano())
+		t.builder.SetValue(applyIdx, int64(sectors))
+		t.builder.SetValue(0, int64(class))
+		// The outcome span stays open across the NEXT window; the trace
+		// is retired at the next tick (or FlushTrace).
+		t.outcomeIdx = t.builder.Begin(dtrace.StageOutcome, 0, time.Now().UnixNano())
+		if t.outcome != nil {
+			t.outHits, t.outMisses = t.outcome()
+		}
+		t.pendingOut = true
+	} else {
+		t.dev.SetReadahead(sectors)
+	}
+	t.seq++
 	d := Decision{
 		Time:    now,
 		Class:   class,
@@ -227,14 +296,49 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		Version: version,
 	}
 	t.decisions = append(t.decisions, d)
+	if t.drift != nil {
+		for i, c := range features.Selected {
+			t.driftFeats[i] = raw[c]
+		}
+		t.drift.Observe(t.driftFeats, class)
+	}
 	if t.flight != nil {
 		if class >= 0 && class < len(t.classCount) {
 			t.classCount[class].Inc()
 		}
-		e := FlightEntry{Decision: d}
+		e := FlightEntry{Decision: d, Seq: t.seq}
 		copy(e.Features[:], t.featBuf)
 		t.flight.Record(e)
 	}
+}
+
+// closePendingTrace finishes the in-flight decision trace: it samples
+// the outcome window's cache hit rate, stamps the outcome span with the
+// rate and its delta vs. the preceding window (the decision's reward
+// signal), and retires the trace into the arena.
+func (t *Tuner) closePendingTrace() {
+	if !t.pendingOut {
+		return
+	}
+	t.pendingOut = false
+	wall := time.Now().UnixNano()
+	ratePM := int64(-1)
+	deltaPM := int64(0)
+	if t.outcome != nil {
+		hits, misses := t.outcome()
+		dh, dm := hits-t.outHits, misses-t.outMisses
+		if dh+dm > 0 {
+			ratePM = int64(dh * 1000 / (dh + dm))
+			if t.prevRatePM >= 0 {
+				deltaPM = ratePM - t.prevRatePM
+			}
+			t.prevRatePM = ratePM
+		}
+	}
+	t.builder.End(t.outcomeIdx, wall)
+	t.builder.SetValue(t.outcomeIdx, deltaPM)
+	t.builder.SetAux(t.outcomeIdx, ratePM)
+	t.arena.Record(t.builder.Finish(wall))
 }
 
 // Instrument attaches telemetry to the tuner: readahead_infer_ns times
@@ -254,6 +358,57 @@ func (t *Tuner) Instrument(reg *telemetry.Registry, flightN int) {
 	t.flight = telemetry.NewFlightRecorder[FlightEntry](flightN)
 	t.pipeline.RegisterMetrics(reg, "readahead_pipeline")
 }
+
+// EnableTracing attaches a dtrace arena: every subsequent decision
+// window mints a TraceID and records child spans for feature
+// aggregation, normalization, inference, and the readahead change,
+// plus an outcome span that samples `outcome` (cumulative cache
+// hit/miss counters; nil disables attribution) over the FOLLOWING
+// window, so each retained trace answers both "why" and "did it help".
+// Call before the tuner runs; the traced tick performs no allocation.
+func (t *Tuner) EnableTracing(a *dtrace.Arena, outcome OutcomeSampler) {
+	t.arena = a
+	t.outcome = outcome
+}
+
+// TraceArena returns the arena attached by EnableTracing, or nil.
+func (t *Tuner) TraceArena() *dtrace.Arena { return t.arena }
+
+// FlushTrace retires the in-flight decision trace without waiting for
+// the next tick, attributing whatever fraction of the outcome window
+// has elapsed. Call at the end of a run so the final decision is not
+// lost.
+func (t *Tuner) FlushTrace() {
+	if t.arena != nil {
+		t.closePendingTrace()
+	}
+}
+
+// InstrumentDrift attaches a drift monitor that checks, every `window`
+// decisions (0 = dtrace.DefaultDriftWindow), whether the live feature
+// population still matches the TRAINING-TIME statistics frozen in the
+// tuner's normalizer — plus prediction churn and class distribution.
+// Gauges register under "readahead_drift" when reg is non-nil. Returns
+// the monitor for direct DriftReport access.
+func (t *Tuner) InstrumentDrift(reg *telemetry.Registry, window int) *dtrace.DriftMonitor {
+	means, stds := t.norm.SelectedStats()
+	m := dtrace.NewDriftMonitor(dtrace.DriftConfig{
+		Features:   features.Count,
+		Classes:    workload.NumClasses,
+		Window:     window,
+		TrainMeans: means[:],
+		TrainStds:  stds[:],
+	})
+	if reg != nil {
+		m.RegisterMetrics(reg, "readahead_drift")
+	}
+	t.drift = m
+	return m
+}
+
+// Seq returns the monotonic decision counter (the Seq of the most
+// recent FlightEntry; 0 before any decision).
+func (t *Tuner) Seq() uint64 { return t.seq }
 
 // Flight returns the retained tail of decisions (oldest first), or nil
 // if the tuner is not instrumented.

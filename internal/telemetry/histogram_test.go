@@ -140,6 +140,21 @@ func TestQuantileSplitDistribution(t *testing.T) {
 	}
 }
 
+// TestQuantileSingleObservation: one observation must come back exactly
+// — Sum IS the observation, so no bucket interpolation error is excused.
+func TestQuantileSingleObservation(t *testing.T) {
+	for _, v := range []int64{0, 1, 100, 999, 1 << 40} {
+		var h Histogram
+		h.Observe(v)
+		s := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := s.Quantile(q); got != v {
+				t.Errorf("single observation %d: Quantile(%v) = %d", v, q, got)
+			}
+		}
+	}
+}
+
 func TestQuantileClampsRange(t *testing.T) {
 	var h Histogram
 	h.Observe(10)

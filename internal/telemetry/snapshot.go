@@ -36,6 +36,11 @@ func (s *HistogramSnapshot) Quantile(q float64) int64 {
 	if s.Count == 0 {
 		return 0
 	}
+	if s.Count == 1 {
+		// One observation: Sum is that observation, exactly — better
+		// than interpolating to the middle of its (2×-wide) bucket.
+		return int64(s.Sum)
+	}
 	if q < 0 {
 		q = 0
 	}

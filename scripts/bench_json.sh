@@ -3,9 +3,10 @@
 #
 # Runs the E5 overhead micro-benchmarks (single-sample and batched
 # inference in float64/float32/Q16.16, plus one online training
-# iteration) with -benchmem and converts the output to a machine-readable
-# JSON document. The checked-in snapshot is BENCH_PR4.json; regenerate
-# it with `make bench-json`.
+# iteration) plus the E8 decision-trace span tax with -benchmem and
+# converts the output to a machine-readable JSON document. The
+# checked-in snapshot is BENCH_PR5.json; regenerate it with
+# `make bench-json`.
 #
 # Usage: sh scripts/bench_json.sh [output.json]
 #   BENCHTIME=0.2s sh scripts/bench_json.sh out.json   # quick CI smoke
@@ -14,7 +15,7 @@
 # toolchain.
 set -eu
 
-out=${1:-BENCH_PR4.json}
+out=${1:-BENCH_PR5.json}
 benchtime=${BENCHTIME:-1s}
 cd "$(dirname "$0")/.."
 
@@ -22,7 +23,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'E5_Inference$|E5_InferenceBatched$|E5_FixedInference$|E5_FixedInferenceBatched$|E5_TrainingIteration$' \
+    -bench 'E5_Inference$|E5_InferenceBatched$|E5_FixedInference$|E5_FixedInferenceBatched$|E5_TrainingIteration$|E8_TraceSpan$' \
     -benchmem -benchtime "$benchtime" -count 1 . | tee "$tmp"
 
 goos=$(sed -n 's/^goos: //p' "$tmp" | head -1)
@@ -33,7 +34,7 @@ gover=$(go env GOVERSION)
 
 {
     printf '{\n'
-    printf '  "pr": 4,\n'
+    printf '  "pr": 5,\n'
     printf '  "go": "%s",\n' "$gover"
     printf '  "goos": "%s",\n' "$goos"
     printf '  "goarch": "%s",\n' "$goarch"
