@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet test race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check bench-json ci clean
+.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check bench-json bench-ratchet ci clean
 
 all: build
 
@@ -14,6 +14,12 @@ vet:
 # Repo-specific kernel-portability checks (see DESIGN.md).
 kml-vet:
 	$(GO) run ./cmd/kml-vet ./...
+
+# The CI form: same analyzers, checked against the committed baseline.
+# New diagnostics fail, and stale baseline entries fail too — the
+# ratchet only turns down (DESIGN.md §11).
+vet-strict:
+	$(GO) run ./cmd/kml-vet -baseline lint.baseline ./...
 
 test:
 	$(GO) test ./...
@@ -33,6 +39,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzTracesDecode -fuzztime=$(FUZZTIME) ./internal/dtrace/
+	$(GO) test -run='^$$' -fuzz=FuzzDirectiveParse -fuzztime=$(FUZZTIME) ./internal/lint/
 
 # End-to-end smoke of the serving subsystem: daemon + deploy + bench +
 # graceful shutdown on a unix socket.
@@ -57,13 +64,18 @@ trace-smoke:
 bench-json:
 	sh scripts/bench_json.sh BENCH_PR5.json
 
+# Compare the two newest committed benchmark snapshots; fail on >15%
+# regressions that are not on the allowlist in the script.
+bench-ratchet:
+	sh scripts/bench_ratchet.sh
+
 # The telemetry overhead self-check in isolation: one counter add plus
 # one histogram observation must cost under the budget in
 # internal/telemetry/overhead_test.go, or the build fails.
 overhead-check:
 	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check kml-vet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check vet-strict bench-ratchet
 
 clean:
 	$(GO) clean ./...

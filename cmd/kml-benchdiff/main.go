@@ -1,0 +1,288 @@
+// Command kml-benchdiff compares two benchmark snapshots (the JSON
+// documents bench_json.sh writes, BENCH_PR4.json and friends) and fails
+// when a tracked metric regresses beyond a threshold. It is the
+// performance analogue of the kml-vet baseline: the committed snapshots
+// ratchet the hot-path numbers, and an intentional regression has to be
+// spelled out on the allowlist instead of slipping in silently.
+//
+// Usage:
+//
+//	kml-benchdiff [-threshold pct] [-allow list] old.json new.json
+//	kml-benchdiff [-threshold pct] [-allow list] -dir directory
+//
+// With -dir, the two snapshots with the highest numeric suffixes
+// (BENCH_PR4.json < BENCH_PR5.json) are compared, oldest as the base.
+// Tracked metrics are ns/op, ns/sample, and allocs/op. A regression is
+// a metric growing by more than threshold percent — or any growth from
+// zero, which matters for allocs/op where the floor is exact. The
+// allowlist is comma-separated entries of the form "name" (every metric
+// of that benchmark) or "name:metric". Benchmarks present on only one
+// side are noted but never fail: suites grow and shrink on purpose.
+//
+// Exit status is 0 when clean (or every regression is allowlisted), 1
+// on unallowed regressions, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ratchetMetrics are the metric keys the ratchet tracks, in report
+// order. B/op is deliberately absent: allocs/op already pins the
+// allocation count, and byte sizes legitimately drift with struct
+// layout.
+var ratchetMetrics = []string{"ns/op", "ns/sample", "allocs/op"}
+
+type snapshot struct {
+	PR         int         `json:"pr"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kml-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 15, "regression threshold in `percent`")
+	allowFlag := fs.String("allow", "", "comma-separated `allowlist` of accepted regressions (name or name:metric)")
+	dir := fs.String("dir", "", "compare the two newest BENCH_*<n>.json snapshots in `directory`")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: kml-benchdiff [-threshold pct] [-allow list] (old.json new.json | -dir directory)\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	var oldPath, newPath string
+	switch {
+	case *dir != "" && fs.NArg() == 0:
+		var err error
+		oldPath, newPath, err = newestPair(*dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "kml-benchdiff:", err)
+			return 2
+		}
+	case *dir == "" && fs.NArg() == 2:
+		oldPath, newPath = fs.Arg(0), fs.Arg(1)
+	default:
+		fs.Usage()
+		return 2
+	}
+
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "kml-benchdiff:", err)
+		return 2
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(stderr, "kml-benchdiff:", err)
+		return 2
+	}
+	allow, err := parseAllow(*allowFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "kml-benchdiff:", err)
+		return 2
+	}
+
+	fmt.Fprintf(stdout, "base %s (pr %d) -> head %s (pr %d), threshold %g%%\n",
+		filepath.Base(oldPath), oldSnap.PR, filepath.Base(newPath), newSnap.PR, *threshold)
+
+	oldByName := indexByName(oldSnap.Benchmarks)
+	failures := 0
+	for _, nb := range newSnap.Benchmarks {
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "  new  %-40s (no base entry)\n", nb.Name)
+			continue
+		}
+		delete(oldByName, nb.Name)
+		for _, metric := range ratchetMetrics {
+			newVal, ok := nb.Metrics[metric]
+			if !ok {
+				continue
+			}
+			oldVal, ok := ob.Metrics[metric]
+			if !ok {
+				continue
+			}
+			regressed := exceeds(oldVal, newVal, *threshold)
+			if !regressed {
+				continue
+			}
+			if allow.covers(nb.Name, metric) {
+				fmt.Fprintf(stdout, "  ok   %-40s %-10s %s (allowlisted regression)\n",
+					nb.Name, metric, deltaString(oldVal, newVal))
+				continue
+			}
+			failures++
+			fmt.Fprintf(stdout, "  FAIL %-40s %-10s %s exceeds %g%% threshold\n",
+				nb.Name, metric, deltaString(oldVal, newVal), *threshold)
+		}
+	}
+	for _, name := range sortedKeys(oldByName) {
+		fmt.Fprintf(stdout, "  gone %-40s (no head entry)\n", name)
+	}
+	for _, entry := range allow.unused() {
+		fmt.Fprintf(stdout, "  note allowlist entry %q matched no regression (remove it)\n", entry)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(stderr, "kml-benchdiff: %d metric regression(s) beyond %g%% — allowlist intentional changes with -allow\n",
+			failures, *threshold)
+		return 1
+	}
+	fmt.Fprintln(stdout, "no unallowed regressions")
+	return 0
+}
+
+// exceeds reports whether newVal regressed past the threshold relative
+// to oldVal. Growth from an exact zero is always a regression: the only
+// base that makes "allocs/op: 0" meaningful is zero itself.
+func exceeds(oldVal, newVal, thresholdPct float64) bool {
+	if newVal <= oldVal {
+		return false
+	}
+	if oldVal == 0 {
+		return true
+	}
+	return (newVal-oldVal)/oldVal*100 > thresholdPct
+}
+
+func deltaString(oldVal, newVal float64) string {
+	if oldVal == 0 {
+		return fmt.Sprintf("%g -> %g (from zero)", oldVal, newVal)
+	}
+	return fmt.Sprintf("%g -> %g (%+.1f%%)", oldVal, newVal, (newVal-oldVal)/oldVal*100)
+}
+
+func loadSnapshot(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return &s, nil
+}
+
+func indexByName(benchmarks []benchmark) map[string]benchmark {
+	out := make(map[string]benchmark, len(benchmarks))
+	for _, b := range benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+func sortedKeys(m map[string]benchmark) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshotRE extracts the numeric suffix of a snapshot filename:
+// BENCH_PR5.json -> 5.
+var snapshotRE = regexp.MustCompile(`^BENCH_\D*(\d+)\.json$`)
+
+// newestPair returns the two snapshots in dir with the highest numeric
+// suffixes, oldest first.
+func newestPair(dir string) (oldPath, newPath string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		m := snapshotRE.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("%s: need at least two BENCH_*<n>.json snapshots, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].path, found[len(found)-1].path, nil
+}
+
+// allowlist is the set of accepted regressions: bare benchmark names
+// cover every metric, name:metric entries a single one. Matched entries
+// are tracked so leftovers can be reported for removal.
+type allowlist struct {
+	entries map[string]bool
+	used    map[string]bool
+	order   []string
+}
+
+func parseAllow(s string) (*allowlist, error) {
+	a := &allowlist{entries: make(map[string]bool), used: make(map[string]bool)}
+	if s == "" {
+		return a, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("empty entry in -allow list")
+		}
+		if !a.entries[entry] {
+			a.order = append(a.order, entry)
+		}
+		a.entries[entry] = true
+	}
+	return a, nil
+}
+
+func (a *allowlist) covers(name, metric string) bool {
+	for _, key := range []string{name + ":" + metric, name} {
+		if a.entries[key] {
+			a.used[key] = true
+			return true
+		}
+	}
+	return false
+}
+
+func (a *allowlist) unused() []string {
+	var out []string
+	for _, entry := range a.order {
+		if !a.used[entry] {
+			out = append(out, entry)
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseSnapshot = `{
+  "pr": 4,
+  "benchmarks": [
+    {"name": "E5_Inference", "iters": 1000, "metrics": {"ns/op": 700, "allocs/op": 0}},
+    {"name": "E5_Batched/rows16", "iters": 1000, "metrics": {"ns/op": 1800, "ns/sample": 115, "allocs/op": 0}},
+    {"name": "E5_Training", "iters": 1000, "metrics": {"ns/op": 4000, "allocs/op": 0}}
+  ]
+}`
+
+// headSnapshot regresses E5_Inference ns/op by 40%, E5_Batched
+// ns/sample by ~74%, and grows E5_Training allocs/op from zero.
+const headSnapshot = `{
+  "pr": 5,
+  "benchmarks": [
+    {"name": "E5_Inference", "iters": 1000, "metrics": {"ns/op": 980, "allocs/op": 0}},
+    {"name": "E5_Batched/rows16", "iters": 1000, "metrics": {"ns/op": 1850, "ns/sample": 200, "allocs/op": 0}},
+    {"name": "E5_Training", "iters": 1000, "metrics": {"ns/op": 4100, "allocs/op": 2}},
+    {"name": "E8_TraceSpan", "iters": 1000, "metrics": {"ns/op": 40, "allocs/op": 0}}
+  ]
+}`
+
+func writeSnapshots(t *testing.T) (dir, oldPath, newPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	oldPath = filepath.Join(dir, "BENCH_PR4.json")
+	newPath = filepath.Join(dir, "BENCH_PR5.json")
+	if err := os.WriteFile(oldPath, []byte(baseSnapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(headSnapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, oldPath, newPath
+}
+
+func runDiff(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf strings.Builder
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestRegressionFailsNonZero(t *testing.T) {
+	_, oldPath, newPath := writeSnapshots(t)
+	code, stdout, stderr := runDiff(t, oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit code %d on regressed snapshot, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{
+		"FAIL E5_Inference",
+		"ns/sample",
+		"from zero",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("report does not mention %q:\n%s", want, stdout)
+		}
+	}
+	// The 2.8% ns/op drift of E5_Batched and the brand-new E8 benchmark
+	// must not fail.
+	if strings.Contains(stdout, "FAIL E5_Batched/rows16                        ns/op") {
+		t.Errorf("sub-threshold ns/op drift reported as failure:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "new  E8_TraceSpan") {
+		t.Errorf("benchmark with no base entry not noted:\n%s", stdout)
+	}
+}
+
+func TestAllowlistSuppresses(t *testing.T) {
+	_, oldPath, newPath := writeSnapshots(t)
+	code, stdout, _ := runDiff(t,
+		"-allow", "E5_Inference,E5_Batched/rows16:ns/sample,E5_Training:allocs/op",
+		oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit code %d with full allowlist, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "allowlisted regression") {
+		t.Errorf("report does not mark allowlisted regressions:\n%s", stdout)
+	}
+}
+
+func TestAllowlistIsMetricScoped(t *testing.T) {
+	_, oldPath, newPath := writeSnapshots(t)
+	// ns/op scope does not cover the ns/sample regression.
+	code, stdout, _ := runDiff(t,
+		"-allow", "E5_Inference,E5_Batched/rows16:ns/op,E5_Training:allocs/op",
+		oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1: name:metric entry must not cover other metrics\n%s", code, stdout)
+	}
+}
+
+func TestUnusedAllowEntryIsNoted(t *testing.T) {
+	_, oldPath, newPath := writeSnapshots(t)
+	code, stdout, _ := runDiff(t,
+		"-allow", "E5_Inference,E5_Batched/rows16,E5_Training,E5_Gone",
+		oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 (unused entries warn, not fail)\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, `allowlist entry "E5_Gone" matched no regression`) {
+		t.Errorf("unused allowlist entry not noted:\n%s", stdout)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	_, oldPath, newPath := writeSnapshots(t)
+	// At 100% nothing but the zero-floor allocs growth regresses.
+	code, stdout, _ := runDiff(t, "-threshold", "100", oldPath, newPath)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1: growth from zero must fail at any threshold\n%s", code, stdout)
+	}
+	code, _, _ = runDiff(t, "-threshold", "100", "-allow", "E5_Training:allocs/op", oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0 at 100%% threshold with allocs allowlisted", code)
+	}
+}
+
+func TestDirModePicksNewestPair(t *testing.T) {
+	dir, _, _ := writeSnapshots(t)
+	// A stale, dramatically slower PR2 snapshot must be ignored: the
+	// pair compared is PR4 -> PR5.
+	pr2 := strings.Replace(baseSnapshot, `"pr": 4`, `"pr": 2`, 1)
+	pr2 = strings.Replace(pr2, `"ns/op": 700`, `"ns/op": 9000`, 1)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_PR2.json"), []byte(pr2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runDiff(t, "-dir", dir)
+	if code != 1 {
+		t.Fatalf("exit code %d in dir mode, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "base BENCH_PR4.json (pr 4) -> head BENCH_PR5.json (pr 5)") {
+		t.Errorf("dir mode did not pick the newest pair:\n%s", stdout)
+	}
+}
+
+func TestImprovementIsClean(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	if err := os.WriteFile(oldPath, []byte(headSnapshot), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	improved := strings.Replace(headSnapshot, `"allocs/op": 2`, `"allocs/op": 0`, 1)
+	improved = strings.Replace(improved, `"ns/op": 980`, `"ns/op": 600`, 1)
+	if err := os.WriteFile(newPath, []byte(improved), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ := runDiff(t, oldPath, newPath)
+	if code != 0 {
+		t.Fatalf("exit code %d on improved snapshot, want 0\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "no unallowed regressions") {
+		t.Errorf("clean run does not say so:\n%s", stdout)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runDiff(t); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, "only-one.json"); code != 2 {
+		t.Errorf("one positional: exit %d, want 2", code)
+	}
+	if code, _, _ := runDiff(t, "-dir", t.TempDir()); code != 2 {
+		t.Errorf("empty dir: exit %d, want 2", code)
+	}
+}

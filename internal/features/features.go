@@ -218,6 +218,8 @@ func (n Normalizer) Apply(raw Vector) Vector {
 	return out
 }
 
+//
+//kml:hotpath
 func clip(x float64) float64 {
 	if x > zClip {
 		return zClip

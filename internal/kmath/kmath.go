@@ -48,6 +48,8 @@ func IsFinite(x float64) bool {
 
 // frexp decomposes f into a normalized fraction in [0.5, 1) and a power of
 // two, f = frac * 2**exp. It mirrors libm's frexp using only bit operations.
+//
+//kml:hotpath
 func frexp(f float64) (frac float64, exp int) {
 	if f == 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 		return f, 0
@@ -73,6 +75,8 @@ func frexp(f float64) (frac float64, exp int) {
 // ldexp returns frac * 2**exp using only bit operations. After frexp
 // renormalization the fraction lies in [0.5, 1), so the scale can be applied
 // as at most two representable powers of two.
+//
+//kml:hotpath
 func ldexp(frac float64, exp int) float64 {
 	if frac == 0 || math.IsNaN(frac) || math.IsInf(frac, 0) {
 		return frac
@@ -96,10 +100,14 @@ func ldexp(frac float64, exp int) float64 {
 }
 
 // pow2 returns 2**exp for exp in [-1022, 1023] via direct bit construction.
+//
+//kml:hotpath
 func pow2(exp int) float64 {
 	return math.Float64frombits(uint64(exp+1023) << 52)
 }
 
+//
+//kml:hotpath
 func copySign(x, sign float64) float64 {
 	const signBit = 1 << 63
 	return math.Float64frombits(math.Float64bits(x)&^signBit | math.Float64bits(sign)&signBit)
@@ -143,6 +151,8 @@ func Exp(x float64) float64 {
 
 // ldexpFast is ldexp for the common case where the result stays normal;
 // it falls back to the general path otherwise.
+//
+//kml:hotpath
 func ldexpFast(frac float64, exp int) float64 {
 	if exp >= -1022 && exp <= 1023 && frac >= 0.5 && frac <= 2 {
 		return frac * pow2(exp)

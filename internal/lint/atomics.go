@@ -1,0 +1,343 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Atomics enforces the memory-access discipline around the module's
+// lock-free structures (the deployment handles, telemetry counters, and
+// dtrace arenas that the paper's collection path leans on):
+//
+//  1. Mixed atomic/plain access: a field (or package-level variable) that
+//     is ever passed to a sync/atomic operation must be accessed through
+//     sync/atomic everywhere. One plain load next to an atomic store is a
+//     data race the race detector only catches if a test happens to hit
+//     the interleaving; the analyzer catches it statically, module-wide
+//     (the field's identity is its declaration, so a plain access in one
+//     package flags against an atomic access in another).
+//
+//  2. Lock copies: a value whose type contains a sync primitive
+//     (sync.Mutex, sync.Once, ...) or a sync/atomic value type
+//     (atomic.Uint64, atomic.Pointer[T], ...) must not be copied — the
+//     copy shears the internal state from the synchronization guarding
+//     it. Reported at by-value receivers, parameters, and results, at
+//     assignments whose right-hand side is an existing value (composite
+//     literals build fresh values and are fine), and at range clauses
+//     that copy elements out of a container.
+var Atomics = &Analyzer{
+	Name:   "atomics",
+	Doc:    "no mixed atomic/plain access to a field, no copying of values containing sync or sync/atomic state",
+	Module: true,
+	Run:    runAtomics,
+}
+
+func runAtomics(pass *Pass) {
+	checkMixedAccess(pass)
+	for _, pkg := range pass.Mod.Pkgs {
+		checkLockCopies(pass, pkg)
+	}
+}
+
+// --- mixed atomic/plain access ---
+
+// atomicAddrFuncs are the sync/atomic package functions whose first
+// argument is the address of the atomically accessed word. (The typed
+// atomic values — atomic.Uint64 and friends — keep their word unexported
+// and cannot be mixed-accessed at all; prefer them.)
+var atomicAddrFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// varAccess records where one variable is touched.
+type varAccess struct {
+	atomicPos []token.Pos
+	plainPos  []token.Pos
+}
+
+func checkMixedAccess(pass *Pass) {
+	accesses := make(map[*types.Var]*varAccess)
+	ordered := []*types.Var{} // deterministic reporting order
+	record := func(v *types.Var, pos token.Pos, atomic bool) {
+		a := accesses[v]
+		if a == nil {
+			a = &varAccess{}
+			accesses[v] = a
+			ordered = append(ordered, v)
+		}
+		if atomic {
+			a.atomicPos = append(a.atomicPos, pos)
+		} else {
+			a.plainPos = append(a.plainPos, pos)
+		}
+	}
+	for _, pkg := range pass.Mod.Pkgs {
+		info := pkg.Info
+		// First pass: mark the identifiers that are the &-operand of a
+		// sync/atomic call, so the second pass can tell atomic accesses
+		// from plain ones.
+		atomicIdents := make(map[*ast.Ident]bool)
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isAtomicAddrCall(info, call) || len(call.Args) == 0 {
+					return true
+				}
+				if id := addressedIdent(call.Args[0]); id != nil {
+					atomicIdents[id] = true
+				}
+				return true
+			})
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v := accessedVar(info, id)
+				if v == nil {
+					return true
+				}
+				record(v, id.Pos(), atomicIdents[id])
+				return true
+			})
+		}
+	}
+	for _, v := range ordered {
+		a := accesses[v]
+		if len(a.atomicPos) == 0 || len(a.plainPos) == 0 {
+			continue
+		}
+		atomicAt := pass.Mod.Fset.Position(a.atomicPos[0])
+		sort.Slice(a.plainPos, func(i, j int) bool { return a.plainPos[i] < a.plainPos[j] })
+		for _, pos := range a.plainPos {
+			pass.Reportf(pos, "plain access to %s, which is accessed atomically at %s:%d (use sync/atomic everywhere, or an atomic value type)",
+				v.Name(), relPath(pass.Mod, atomicAt.Filename), atomicAt.Line)
+		}
+	}
+}
+
+// isAtomicAddrCall reports whether call is sync/atomic.<op>(&addr, ...).
+func isAtomicAddrCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return atomicAddrFuncs[fn.Name()]
+}
+
+// addressedIdent returns the field/variable identifier inside &x or &x.f,
+// or nil when the operand is something else (an index expression, say).
+func addressedIdent(arg ast.Expr) *ast.Ident {
+	unary, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	switch e := ast.Unparen(unary.X).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// accessedVar maps an identifier to the struct field or package-level
+// variable it names, restricted to integer/pointer words — the shapes
+// sync/atomic operates on. Locals are skipped: a local is visible to one
+// goroutine unless it escapes through one of the tracked shapes anyway.
+func accessedVar(info *types.Info, id *ast.Ident) *types.Var {
+	// Uses only: an identifier in info.Defs is the declaration itself
+	// (a struct field, a package var clause), which is not an access.
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Embedded() {
+		return nil
+	}
+	if !v.IsField() {
+		// Package-level variables only; locals and parameters are
+		// single-goroutine unless shared explicitly.
+		if v.Parent() == nil || v.Parent().Parent() != types.Universe {
+			return nil
+		}
+	}
+	if b, ok := v.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32, types.Int64, types.Uint32, types.Uint64,
+			types.Uintptr, types.UnsafePointer:
+			return v
+		}
+	}
+	return nil
+}
+
+// --- lock copies ---
+
+func checkLockCopies(pass *Pass, pkg *Package) {
+	info := pkg.Info
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok {
+				checkSignatureLocks(pass, info, fn)
+				if fn.Body != nil {
+					checkBodyLockCopies(pass, info, fn.Body)
+				}
+			}
+		}
+	}
+}
+
+// checkSignatureLocks reports by-value receivers, parameters, and results
+// whose type contains synchronization state.
+func checkSignatureLocks(pass *Pass, info *types.Info, fn *ast.FuncDecl) {
+	report := func(field *ast.Field, what string, t types.Type) {
+		pass.Reportf(field.Pos(), "%s of %s passes %s by value (contains %s; pass a pointer)",
+			what, fn.Name.Name, types.TypeString(t, nil), lockPart(t))
+	}
+	check := func(list *ast.FieldList, what string) {
+		if list == nil {
+			return
+		}
+		for _, field := range list.List {
+			t := typeOf(info, field.Type)
+			if t == nil {
+				continue
+			}
+			if containsLock(t) {
+				report(field, what, t)
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	if fn.Type.Params != nil {
+		check(fn.Type.Params, "parameter")
+	}
+	if fn.Type.Results != nil {
+		check(fn.Type.Results, "result")
+	}
+}
+
+// checkBodyLockCopies reports assignments and range clauses that copy a
+// lock-containing value out of an existing location. Composite literals
+// and function calls are skipped: a literal builds a fresh value, and a
+// call's by-value result is already reported at the callee's signature.
+func checkBodyLockCopies(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				if t, expr := copiedLockValue(info, rhs); t != nil {
+					pass.Reportf(expr.Pos(), "assignment copies %s by value (contains %s; copy a pointer instead)",
+						types.TypeString(t, nil), lockPart(t))
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value == nil {
+				return true
+			}
+			t := typeOf(info, node.Value)
+			if t == nil {
+				// The := form defines the value ident, so its type
+				// lives in Defs, not in the expression-type map.
+				if id, ok := node.Value.(*ast.Ident); ok {
+					if v, ok := info.Defs[id].(*types.Var); ok {
+						t = v.Type()
+					}
+				}
+			}
+			if t != nil && containsLock(t) {
+				pass.Reportf(node.Value.Pos(), "range clause copies %s elements by value (contains %s; range over indices or pointers)",
+					types.TypeString(t, nil), lockPart(t))
+			}
+		}
+		return true
+	})
+}
+
+// copiedLockValue reports whether rhs copies an existing lock-containing
+// value: a variable, field selection, dereference, or index expression of
+// a type that contains synchronization state.
+func copiedLockValue(info *types.Info, rhs ast.Expr) (types.Type, ast.Expr) {
+	expr := ast.Unparen(rhs)
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return nil, nil
+	}
+	t := typeOf(info, expr)
+	if t == nil || !containsLock(t) {
+		return nil, nil
+	}
+	// Selecting a *pointer* to a lock is fine; only value types copy.
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return nil, nil
+	}
+	return t, expr
+}
+
+// containsLock reports whether t (by value) contains a sync primitive or
+// a sync/atomic value type anywhere in its flat extent — struct fields
+// and array elements recurse; pointers, slices, maps, and channels are
+// references and do not propagate the no-copy property.
+func containsLock(t types.Type) bool {
+	return lockPartOf(t, make(map[types.Type]bool)) != ""
+}
+
+// lockPart names the first synchronization component found in t, for the
+// diagnostic text.
+func lockPart(t types.Type) string {
+	return lockPartOf(t, make(map[types.Type]bool))
+}
+
+func lockPartOf(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil && !types.IsInterface(t) {
+			switch pkg.Path() {
+			case "sync":
+				return "sync." + obj.Name()
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if part := lockPartOf(u.Field(i).Type(), seen); part != "" {
+				return part
+			}
+		}
+	case *types.Array:
+		return lockPartOf(u.Elem(), seen)
+	}
+	return ""
+}
+
+// relPath renders filename relative to the module root for stable
+// diagnostics.
+func relPath(mod *Module, filename string) string {
+	if rel, ok := strings.CutPrefix(filename, mod.Dir+"/"); ok {
+		return rel
+	}
+	return filename
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		comment   string
+		attempted bool
+		canonical bool
+		name      string
+	}{
+		{"//kml:hotpath", true, true, "kml:hotpath"},
+		{"//kml:hotpath extra words", true, true, "kml:hotpath"},
+		{"// kml:hotpath", true, false, "kml:hotpath"},
+		{"//\tkml:coldpath", true, false, "kml:coldpath"},
+		{"//kml:hotpah", true, true, "kml:hotpah"},
+		{"//kml:", true, true, ""},
+		{"// kml: trailing", true, false, ""},
+		{"// plain comment", false, false, ""},
+		{"// mentions //kml:hotpath mid-line", false, false, ""},
+		{"/*kml:hotpath*/", false, false, ""},
+		{"//go:build linux", false, false, ""},
+		{"", false, false, ""},
+	}
+	for _, c := range cases {
+		d := parseDirective(c.comment)
+		if d.Attempted != c.attempted || d.Canonical != c.canonical || d.Name != c.name {
+			t.Errorf("parseDirective(%q) = %+v, want Attempted=%v Canonical=%v Name=%q",
+				c.comment, d, c.attempted, c.canonical, c.name)
+		}
+	}
+}
+
+// FuzzDirectiveParse holds parseDirective to its contract on arbitrary
+// input: it never panics, a parse that is not an attempt carries no
+// name, names always spell kml:<word> with no whitespace, and any
+// non-empty Name round-trips through the canonical spelling.
+func FuzzDirectiveParse(f *testing.F) {
+	for name := range knownDirectives {
+		f.Add("//" + name)
+		f.Add("// " + name + " argument")
+	}
+	f.Add("//kml:")
+	f.Add("//kml:hotpah")
+	f.Add("//\t\tkml:boundary\tx")
+	f.Add("/*kml:hotpath*/")
+	f.Add("//go:build linux")
+	f.Add("// ordinary comment")
+	f.Add("//kml:hotpath\nsecond line")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, comment string) {
+		d := parseDirective(comment)
+		if !d.Attempted && (d.Canonical || d.Name != "") {
+			t.Fatalf("parseDirective(%q) = %+v: non-attempt carries state", comment, d)
+		}
+		if d.Name != "" {
+			if !strings.HasPrefix(d.Name, "kml:") {
+				t.Fatalf("parseDirective(%q).Name = %q: missing kml: prefix", comment, d.Name)
+			}
+			if strings.ContainsAny(d.Name, " \t\r\n\v\f") {
+				t.Fatalf("parseDirective(%q).Name = %q: contains whitespace", comment, d.Name)
+			}
+			rt := parseDirective("//" + d.Name)
+			if !rt.Attempted || !rt.Canonical || rt.Name != d.Name {
+				t.Fatalf("round-trip of %q changed the parse: %+v", d.Name, rt)
+			}
+		}
+	})
+}

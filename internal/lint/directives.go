@@ -12,7 +12,62 @@ const (
 	dirHotpath     = "kml:hotpath"
 	dirBoundary    = "kml:boundary"
 	dirCheckErrors = "kml:checkerrors"
+	dirColdpath    = "kml:coldpath"
 )
+
+// knownDirectives is the closed set of recognized //kml: spellings. The
+// directive analyzer rejects everything else: a typo like //kml:hotpah
+// must be a diagnostic, not a silently disabled rule.
+var knownDirectives = map[string]bool{
+	dirKernelspace: true,
+	dirHotpath:     true,
+	dirBoundary:    true,
+	dirCheckErrors: true,
+	dirColdpath:    true,
+}
+
+// directiveInfo is the parse of one comment line's directive attempt.
+type directiveInfo struct {
+	// Attempted: the comment's text (after the slashes, ignoring leading
+	// whitespace) starts with "kml:" — the author meant to write a
+	// directive, whether or not it is well-formed.
+	Attempted bool
+	// Canonical: the "kml:" immediately follows the slashes with no
+	// intervening whitespace, the form gofmt preserves and the analyzers
+	// honor (mirroring //go:build).
+	Canonical bool
+	// Name is the full directive spelling ("kml:" plus the word after it,
+	// cut at the first whitespace). Empty when the colon is followed by
+	// nothing.
+	Name string
+}
+
+// parseDirective classifies one //-comment's full text (including the
+// leading slashes). It never panics on arbitrary input — FuzzDirectiveParse
+// holds it to that — and recognized spellings round-trip: for any parse
+// with a non-empty Name, parseDirective("//"+Name) yields the same Name,
+// Canonical, and Attempted=true.
+func parseDirective(comment string) directiveInfo {
+	var d directiveInfo
+	text, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return d // block comments cannot carry directives
+	}
+	trimmed := strings.TrimLeft(text, " \t")
+	rest, ok := strings.CutPrefix(trimmed, "kml:")
+	if !ok {
+		return d
+	}
+	d.Attempted = true
+	d.Canonical = len(trimmed) == len(text)
+	if i := strings.IndexAny(rest, " \t\r\n\v\f"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest != "" {
+		d.Name = "kml:" + rest
+	}
+	return d
+}
 
 // fileDirectives are the file-level directives of one source file.
 type fileDirectives struct {
@@ -57,17 +112,23 @@ func declDirective(doc *ast.CommentGroup, dir string) bool {
 // isHotpath reports whether fn is annotated //kml:hotpath.
 func isHotpath(fn *ast.FuncDecl) bool { return declDirective(fn.Doc, dirHotpath) }
 
+// isColdpath reports whether fn is annotated //kml:coldpath — the audited
+// escape hatch of the hotreach closure: the function is reachable from a
+// hot path but deliberately cold (error reporting, misuse panics, one-time
+// setup), so the closure does not descend into it.
+func isColdpath(fn *ast.FuncDecl) bool { return declDirective(fn.Doc, dirColdpath) }
+
 // isBoundary reports whether the declaration is an explicitly blessed
 // user↔kernel boundary shim (exempt from the no-float rule).
 func isBoundary(doc *ast.CommentGroup) bool { return declDirective(doc, dirBoundary) }
 
+// hasDirective reports whether comment is exactly the canonical spelling
+// of dir (optionally followed by arguments). Near-misses — a space after
+// the slashes, a typo in the name — are NOT recognized; the directive
+// analyzer reports them instead of silently dropping enforcement.
 func hasDirective(comment, dir string) bool {
-	text, ok := strings.CutPrefix(comment, "//")
-	if !ok {
-		return false
-	}
-	text = strings.TrimSpace(text)
-	return text == dir || strings.HasPrefix(text, dir+" ")
+	d := parseDirective(comment)
+	return d.Attempted && d.Canonical && d.Name == dir
 }
 
 // kernelspaceFiles returns the indices of pkg's kernelspace files.

@@ -1,0 +1,335 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotReach is the whole-program closure over the kernel-portability
+// contract. The per-function analyzers (noalloc, nofloat) are
+// intraprocedural by design; before v2 a //kml:hotpath function could call
+// an unannotated helper that allocates or floats and kml-vet stayed
+// silent. HotReach builds a module-local call graph — direct calls, method
+// calls, and interface dispatch devirtualized with a types-based
+// implements check — and walks the transitive closure of every
+// //kml:hotpath function and every function declared in a
+// //kml:kernelspace file. Every reachable module function must be one of:
+//
+//   - annotated //kml:hotpath (the noalloc rules then apply to it),
+//   - declared in a //kml:kernelspace file (the nofloat/lockfree/imports
+//     rules then apply to it), or
+//   - annotated //kml:coldpath — the audited escape hatch for branches
+//     that are reachable but deliberately cold (error reporting, misuse
+//     panics, one-time setup).
+//
+// Anything else is reported with the full call chain from the entry
+// point, like the transitive-import chains of the imports analyzer.
+// Additionally, //kml:boundary shims (float↔fixed conversions) must not
+// be reachable from a //kml:hotpath entry: boundary code is blessed for
+// quantization and debugging, not for the I/O path.
+//
+// Calls through plain function values (fields, parameters of func type)
+// are not resolved — the hot paths that store hooks pin them behind their
+// own annotated concrete targets — and calls into other modules
+// (including the standard library) are governed by the imports analyzer,
+// not the closure.
+var HotReach = &Analyzer{
+	Name:   "hotreach",
+	Doc:    "every function reachable from //kml:hotpath or //kml:kernelspace code must be annotated (//kml:hotpath, //kml:kernelspace, or //kml:coldpath)",
+	Module: true,
+	Run:    runHotReach,
+}
+
+// funcNode is one module function in the call graph.
+type funcNode struct {
+	obj      *types.Func
+	decl     *ast.FuncDecl
+	pkg      *Package
+	hot      bool // //kml:hotpath
+	cold     bool // //kml:coldpath
+	kernel   bool // declared in a //kml:kernelspace file
+	boundary bool // //kml:boundary
+	edges    []callEdge
+}
+
+// callEdge is one resolved call site.
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+	iface  string // non-empty when resolved by interface devirtualization
+}
+
+// callGraph is the module-local call graph plus the devirtualization
+// index.
+type callGraph struct {
+	mod   *Module
+	nodes map[*types.Func]*funcNode
+	named []*types.Named // concrete module types, for implements checks
+}
+
+func runHotReach(pass *Pass) {
+	g := buildCallGraph(pass.Mod)
+
+	// Hot traversal first: reaching a boundary shim is a violation from a
+	// hot entry but tolerated from a plain kernelspace entry, so the
+	// stricter walk must claim nodes first.
+	seen := make(map[*funcNode]bool)
+	reported := make(map[*funcNode]bool)
+	g.walk(pass, g.entries(func(n *funcNode) bool { return n.hot && !n.cold && !n.boundary }),
+		seen, reported, true)
+	g.walk(pass, g.entries(func(n *funcNode) bool { return n.kernel && !n.hot && !n.cold && !n.boundary }),
+		seen, reported, false)
+}
+
+// entries returns the graph's entry points matching keep, in deterministic
+// source order.
+func (g *callGraph) entries(keep func(*funcNode) bool) []*funcNode {
+	var out []*funcNode
+	for _, n := range g.nodes {
+		if keep(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := g.mod.Fset.Position(out[i].decl.Pos()), g.mod.Fset.Position(out[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Line < pj.Line
+	})
+	return out
+}
+
+// walk runs a BFS from the given entries. hotOrigin selects the stricter
+// rule set (boundary shims become violations). seen and reported are
+// shared across walks so each function is processed and reported once.
+func (g *callGraph) walk(pass *Pass, entries []*funcNode, seen, reported map[*funcNode]bool, hotOrigin bool) {
+	type queued struct {
+		node   *funcNode
+		parent *queued
+		via    callEdge // edge that discovered node (zero for entries)
+	}
+	var queue []*queued
+	for _, e := range entries {
+		if !seen[e] {
+			seen[e] = true
+			queue = append(queue, &queued{node: e})
+		}
+	}
+	chainOf := func(q *queued) string {
+		var parts []string
+		for at := q; at != nil; at = at.parent {
+			parts = append(parts, g.displayName(at.node.obj))
+		}
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return strings.Join(parts, " -> ")
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, edge := range cur.node.edges {
+			callee := g.nodes[edge.callee]
+			if callee == nil {
+				continue // out-of-module or intrinsically unresolvable
+			}
+			if callee.cold {
+				continue // audited escape hatch: the closure stops here
+			}
+			next := &queued{node: callee, parent: cur, via: edge}
+			if callee.boundary {
+				if hotOrigin && !reported[callee] {
+					reported[callee] = true
+					pass.Reportf(edge.pos, "hot-path call chain reaches //kml:boundary shim %s: %s (boundary code is for quantization and debugging, not the I/O path)",
+						g.displayName(callee.obj), chainOf(next))
+				}
+				continue // never descend into boundary shims
+			}
+			if seen[callee] {
+				continue
+			}
+			seen[callee] = true
+			if !callee.hot && !callee.kernel && !reported[callee] {
+				reported[callee] = true
+				via := ""
+				if edge.iface != "" {
+					via = " (interface dispatch via " + edge.iface + ")"
+				}
+				pass.Reportf(edge.pos, "hot-path call chain reaches unannotated function %s%s: %s (annotate //kml:hotpath, //kml:coldpath, or move it into a //kml:kernelspace file)",
+					g.displayName(callee.obj), via, chainOf(next))
+			}
+			queue = append(queue, next)
+		}
+	}
+}
+
+// buildCallGraph indexes every module function declaration and resolves
+// its call sites.
+func buildCallGraph(mod *Module) *callGraph {
+	g := &callGraph{mod: mod, nodes: make(map[*types.Func]*funcNode)}
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			kernel := fileDirectivesOf(file).Kernelspace
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[obj] = &funcNode{
+					obj:      obj,
+					decl:     fn,
+					pkg:      pkg,
+					hot:      isHotpath(fn),
+					cold:     isColdpath(fn),
+					kernel:   kernel,
+					boundary: isBoundary(fn.Doc),
+				}
+			}
+		}
+		// Concrete named types for the implements check. Interfaces and
+		// uninstantiated generics cannot be dispatch targets themselves.
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) || named.TypeParams().Len() > 0 {
+				continue
+			}
+			g.named = append(g.named, named)
+		}
+	}
+	for _, node := range g.nodes {
+		if node.decl.Body != nil {
+			g.resolveCalls(node)
+		}
+	}
+	return g
+}
+
+// resolveCalls records one edge per statically resolvable call in node's
+// body. Calls inside function literals are attributed to the enclosing
+// declaration — conservative, since the literal usually runs on behalf of
+// its creator (and hot paths may not create closures at all).
+func (g *callGraph) resolveCalls(node *funcNode) {
+	info := node.pkg.Info
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		// Arguments to panic are the cold misuse branch (mirroring
+		// noalloc): helpers called only to build the panic message are
+		// not hot-path reachability.
+		if name, ok := builtinName(info, fun); ok && name == "panic" {
+			return false
+		}
+		// Explicit generic instantiation F[T](...) wraps the callee.
+		switch ix := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(ix.X)
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(ix.X)
+		}
+		switch f := fun.(type) {
+		case *ast.Ident:
+			if tf, ok := info.Uses[f].(*types.Func); ok {
+				g.addEdge(node, call.Lparen, tf, "")
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[f]; ok && sel.Kind() == types.MethodVal {
+				m, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				recv := sel.Recv()
+				if types.IsInterface(recv) {
+					g.devirtualize(node, call.Lparen, recv, m.Name())
+				} else {
+					g.addEdge(node, call.Lparen, m, "")
+				}
+				return true
+			}
+			// Package-qualified call pkg.F(...).
+			if tf, ok := info.Uses[f.Sel].(*types.Func); ok {
+				g.addEdge(node, call.Lparen, tf, "")
+			}
+		}
+		return true
+	})
+	sort.Slice(node.edges, func(i, j int) bool { return node.edges[i].pos < node.edges[j].pos })
+}
+
+// devirtualize resolves an interface method call to every concrete module
+// type that implements the interface, using the types-based implements
+// check. The dispatch is over-approximated: any implementer the module
+// could bind to the interface is an edge.
+func (g *callGraph) devirtualize(node *funcNode, pos token.Pos, recv types.Type, method string) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return // interface{} has no methods to dispatch
+	}
+	label := types.TypeString(recv, types.RelativeTo(node.pkg.Types))
+	if named, ok := recv.(*types.Named); ok {
+		label = g.displayType(named)
+	}
+	for _, impl := range g.named {
+		var target types.Type = impl
+		if !types.Implements(impl, iface) {
+			ptr := types.NewPointer(impl)
+			if !types.Implements(ptr, iface) {
+				continue
+			}
+			target = ptr
+		}
+		obj, _, _ := types.LookupFieldOrMethod(target, true, impl.Obj().Pkg(), method)
+		if m, ok := obj.(*types.Func); ok {
+			g.addEdge(node, pos, m, label)
+		}
+	}
+}
+
+// addEdge records node -> callee if callee is declared in this module.
+// The generic origin normalizes instantiated calls onto the declaration
+// the annotations live on.
+func (g *callGraph) addEdge(node *funcNode, pos token.Pos, callee *types.Func, iface string) {
+	callee = callee.Origin()
+	if g.nodes[callee] == nil {
+		return
+	}
+	node.edges = append(node.edges, callEdge{pos: pos, callee: callee, iface: iface})
+}
+
+// displayName renders a function for diagnostics with the module path
+// stripped: readahead.(*Tuner).collect, not its fully qualified spelling.
+func (g *callGraph) displayName(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, g.mod.Path+"/internal/", "")
+	name = strings.ReplaceAll(name, g.mod.Path+"/", "")
+	return name
+}
+
+func (g *callGraph) displayType(named *types.Named) string {
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	path := obj.Pkg().Path()
+	path = strings.TrimPrefix(path, g.mod.Path+"/internal/")
+	path = strings.TrimPrefix(path, g.mod.Path+"/")
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return path + "." + obj.Name()
+}

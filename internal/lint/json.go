@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the machine-readable form of one diagnostic, with the
+// file path rendered module-relative so artifacts are stable across
+// checkouts.
+type JSONDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"` // covered by the baseline
+}
+
+// JSONReport is the top-level -json document kml-vet emits and CI uploads
+// as an artifact next to the bench snapshots.
+type JSONReport struct {
+	Module      string           `json:"module"`
+	Analyzers   []string         `json:"analyzers"`
+	Diagnostics []JSONDiagnostic `json:"diagnostics"`
+	// Violations counts non-suppressed diagnostics (the exit-status
+	// signal); Suppressed counts baseline-covered ones; Stale lists
+	// baseline entries that matched nothing (also a failure: the
+	// ratchet only turns one way).
+	Violations int      `json:"violations"`
+	Suppressed int      `json:"suppressed"`
+	Stale      []string `json:"stale,omitempty"`
+}
+
+// NewJSONReport assembles a report from the split diagnostic sets.
+func NewJSONReport(mod *Module, analyzers []*Analyzer, fresh, suppressed []Diagnostic, stale []string) JSONReport {
+	rep := JSONReport{
+		Module:      mod.Path,
+		Diagnostics: []JSONDiagnostic{},
+		Violations:  len(fresh),
+		Suppressed:  len(suppressed),
+		Stale:       stale,
+	}
+	for _, a := range analyzers {
+		rep.Analyzers = append(rep.Analyzers, a.Name)
+	}
+	add := func(d Diagnostic, suppressedFlag bool) {
+		rep.Diagnostics = append(rep.Diagnostics, JSONDiagnostic{
+			File:       relPath(mod, d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: suppressedFlag,
+		})
+	}
+	for _, d := range fresh {
+		add(d, false)
+	}
+	for _, d := range suppressed {
+		add(d, true)
+	}
+	return rep
+}
+
+// WriteJSON encodes the report, indented for humans, one trailing newline.
+func (r JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -55,14 +55,19 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named rule over a type-checked package.
+// Analyzer is one named rule over a type-checked package — or, when
+// Module is set, over the whole module at once (the call-graph closure and
+// the atomics analysis need every package's types in one view).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name   string
+	Doc    string
+	Module bool
+	Run    func(*Pass)
 }
 
-// Pass gives an analyzer its inputs and a report sink for one package.
+// Pass gives an analyzer its inputs and a report sink. Per-package
+// analyzers see one Pkg per invocation; module analyzers are invoked once
+// with Pkg nil and walk Mod.Pkgs themselves.
 type Pass struct {
 	Mod  *Module
 	Pkg  *Package
@@ -81,7 +86,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full rule set in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoFloat, NoAlloc, LockFree, Imports, ErrCheck}
+	return []*Analyzer{NoFloat, NoAlloc, LockFree, Imports, ErrCheck, Directive, HotReach, Atomics}
 }
 
 // Check runs every analyzer over every package of the module and returns
@@ -93,8 +98,12 @@ func Check(mod *Module) []Diagnostic {
 // CheckWith runs the given analyzers over every package of the module.
 func CheckWith(mod *Module, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range mod.Pkgs {
-		for _, a := range analyzers {
+	for _, a := range analyzers {
+		if a.Module {
+			a.Run(&Pass{Mod: mod, name: a.Name, sink: &diags})
+			continue
+		}
+		for _, pkg := range mod.Pkgs {
 			a.Run(&Pass{Mod: mod, Pkg: pkg, name: a.Name, sink: &diags})
 		}
 	}

@@ -69,6 +69,41 @@ func TestChainReportNamesFullPath(t *testing.T) {
 	}
 }
 
+// TestHotReachChainNamesFullPath pins the closure diagnostic shape: the
+// transitive report inside Impl.Step must spell the whole chain from the
+// hot entry, the dispatch step must name the interface it resolved
+// through, and the boundary reach must name the shim.
+func TestHotReachChainNamesFullPath(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("loading testdata module: %v", err)
+	}
+	var chain, dispatch, boundary bool
+	for _, d := range Check(mod) {
+		if d.Analyzer != "hotreach" {
+			continue
+		}
+		if strings.Contains(d.Message, "hotreach.Drive -> (hotreach.Impl).Step -> hotreach.helper") {
+			chain = true
+		}
+		if strings.Contains(d.Message, "interface dispatch via hotreach.Stepper") {
+			dispatch = true
+		}
+		if strings.Contains(d.Message, "//kml:boundary shim hotreach.shim") {
+			boundary = true
+		}
+	}
+	if !chain {
+		t.Error("no hotreach diagnostic names the chain hotreach.Drive -> (hotreach.Impl).Step -> hotreach.helper")
+	}
+	if !dispatch {
+		t.Error("no hotreach diagnostic attributes the devirtualized call to hotreach.Stepper")
+	}
+	if !boundary {
+		t.Error("no hotreach diagnostic reports the boundary shim reached from a hot entry")
+	}
+}
+
 // TestDiagnosticHasPosition guards the file:line contract of every report.
 func TestDiagnosticHasPosition(t *testing.T) {
 	mod, err := LoadModule(filepath.Join("testdata", "src"))

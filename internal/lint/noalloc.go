@@ -108,9 +108,11 @@ func checkCompositeLit(pass *Pass, fn *ast.FuncDecl, info *types.Info, lit *ast.
 				pass.Reportf(lit.Pos(), "hot path %s passes a composite literal to a call (may escape)", fn.Name.Name)
 			}
 		}
-	case *ast.ReturnStmt:
-		pass.Reportf(lit.Pos(), "hot path %s returns a composite literal (may escape)", fn.Name.Name)
 	}
+	// Returning a struct/array literal by value is NOT reported: the
+	// value is copied into the result slot, no heap allocation. Boxing
+	// into an interface result is reported by the conversion check on
+	// the return statement instead.
 }
 
 // checkCallConversions reports concrete arguments bound to interface

@@ -1,0 +1,57 @@
+// Package atomics plants memory-discipline violations: mixed
+// atomic/plain access to one word, and copies of lock-bearing values
+// through signatures, assignments, and range clauses.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter pairs an atomically updated word with mutex-guarded tags.
+type Counter struct {
+	hits uint64
+	mu   sync.Mutex
+	tags map[string]int
+}
+
+// Bump is the atomic side of the planted mixed access.
+func Bump(c *Counter) {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// Peek reads the same word without sync/atomic.
+func Peek(c *Counter) uint64 {
+	return c.hits // want:atomics
+}
+
+// Snapshot passes Counter by value: the mutex shears from its state.
+func Snapshot(c Counter) int { // want:atomics
+	return len(c.tags)
+}
+
+// Clone copies a lock-bearing value out of a pointer dereference.
+func Clone(c *Counter) int {
+	local := *c // want:atomics
+	return len(local.tags)
+}
+
+// Drain ranges over Counter elements by value.
+func Drain(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want:atomics
+		total += len(c.tags)
+	}
+	return total
+}
+
+// Gauge wraps a typed atomic value.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Transfer copies the atomic value out of a field selection.
+func Transfer(g *Gauge) int64 {
+	snap := g.n // want:atomics
+	return snap.Load()
+}

@@ -12,5 +12,5 @@ import (
 
 // Report formats, which kernel code cannot do.
 func Report(n int) string {
-	return fmt.Sprintf("%d:%d", n, clean.Id(n))
+	return fmt.Sprintf("%d:%d", n, clean.Id(n)) // want:hotreach
 }

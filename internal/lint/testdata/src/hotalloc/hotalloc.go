@@ -12,7 +12,7 @@ func Push(dst []int, v int) []int {
 	s := []int{v}                // want:noalloc
 	f := func() int { return v } // want:noalloc
 	defer f()                    // want:noalloc
-	Sink(v)                      // want:noalloc
+	Sink(v)                      // want:noalloc want:hotreach
 	return append(dst, s...)     // want:noalloc
 }
 

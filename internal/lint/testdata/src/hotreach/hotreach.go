@@ -1,0 +1,53 @@
+// Package hotreach plants call-graph closure violations: an unannotated
+// direct callee, an unannotated interface-dispatch target reached
+// through devirtualization, a //kml:boundary shim reached from a hot
+// entry, and a //kml:coldpath exemption that stops the walk.
+package hotreach
+
+// Stepper is the dispatch interface for the planted devirtualization.
+type Stepper interface {
+	Step(n int) int
+}
+
+// Impl is the only implementer; the interface call in Drive
+// devirtualizes to its Step method.
+type Impl struct{}
+
+// Step is unannotated: reached from Drive through the interface.
+func (Impl) Step(n int) int {
+	return helper(n) // want:hotreach
+}
+
+// helper is unannotated and reached transitively through Step.
+func helper(n int) int { return n + 1 }
+
+// grow allocates on purpose; coldpath stops the closure here.
+//
+//kml:coldpath
+func grow(n int) []int { return make([]int, n) }
+
+// direct is an unannotated direct callee of Drive.
+func direct(n int) int { return n * 2 }
+
+// shim is a blessed float conversion; hot entries must not reach it.
+//
+//kml:boundary
+func shim(n int) float64 { return float64(n) }
+
+// Drive is the hot entry point of the planted graph.
+//
+//kml:hotpath
+func Drive(s Stepper, n int) int {
+	if n < 0 {
+		return len(grow(n)) // coldpath: exempt, no report
+	}
+	d := direct(n)       // want:hotreach
+	return d + s.Step(n) // want:hotreach
+}
+
+// Convert reaches the boundary shim from a hot entry.
+//
+//kml:hotpath
+func Convert(n int) float64 {
+	return shim(n) // want:hotreach
+}

@@ -67,6 +67,8 @@ func FromSlice[T Float](rows, cols int, data []T) *Dense[T] {
 func (m *Dense[T]) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
+//
+//kml:hotpath
 func (m *Dense[T]) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
@@ -77,9 +79,13 @@ func (m *Dense[T]) Set(i, j int, v T) { m.data[i*m.cols+j] = v }
 
 // Data returns the backing slice in row-major order. Mutating it mutates
 // the matrix; it is exposed for zero-copy serialization and kernels.
+//
+//kml:hotpath
 func (m *Dense[T]) Data() []T { return m.data }
 
 // Row returns a view of row i (aliasing the matrix storage).
+//
+//kml:hotpath
 func (m *Dense[T]) Row(i int) []T { return m.data[i*m.cols : (i+1)*m.cols] }
 
 // Clone returns a deep copy of m.
@@ -94,6 +100,8 @@ func (m *Dense[T]) Clone() *Dense[T] {
 // reusable field (or on the stack) and re-slice per call without
 // allocating — the mechanism batched inference uses to run varying batch
 // sizes over fixed-capacity scratch.
+//
+//kml:hotpath
 func (m *Dense[T]) SliceRows(rows int) Dense[T] {
 	if rows < 0 || rows > m.rows {
 		panic(fmt.Sprintf("matrix: SliceRows %d of %dx%d", rows, m.rows, m.cols))
@@ -189,6 +197,12 @@ func MulBiasInto[T Float](dst, a, b, bias *Dense[T]) {
 	}
 }
 
+// checkMulBias validates the fused-kernel shapes. It runs on the hot
+// path (the comparisons are a handful of integer tests); the formatting
+// allocation sits inside the panic argument, which is the cold misuse
+// branch noalloc exempts.
+//
+//kml:hotpath
 func checkMulBias[T Float](dst, a, b, bias *Dense[T]) {
 	if a.cols != b.rows || dst.rows != a.rows || dst.cols != b.cols ||
 		bias.rows != 1 || bias.cols != b.cols {
@@ -336,6 +350,8 @@ func (m *Dense[T]) Apply(f func(T) T) {
 }
 
 // ArgMaxRow returns the column index of the largest element in row i.
+//
+//kml:hotpath
 func (m *Dense[T]) ArgMaxRow(i int) int {
 	row := m.Row(i)
 	best := 0

@@ -7,6 +7,7 @@ package matrix
 // and padding contract.
 //
 //go:noescape
+//kml:hotpath
 func mulBias32Kernel16(dst, a, b, bias []float32, rows, k, n int)
 
 // MulBias32 is MulBiasInto specialized to float32. When the output width
@@ -33,6 +34,8 @@ func MulBias32(dst, a, b, bias *Dense[float32]) {
 
 // spare reports the backing capacity beyond the matrix's own elements —
 // the padding headroom the vector kernel's over-width accesses need.
+//
+//kml:hotpath
 func spare[T Float](m *Dense[T]) int {
 	return cap(m.data) - len(m.data)
 }

@@ -194,6 +194,12 @@ func (fn *Float32Network) OutDim() int {
 // EnsureBatch grows the network's batch scratch to hold at least rows
 // samples. InferBatch grows on demand; calling EnsureBatch up front makes
 // the very first batched call allocation-free.
+//
+// Coldpath: this is the amortized growth branch — it allocates by design
+// and runs only when rows exceeds the scratch high-water mark, never at
+// steady state (TestBatchInferAllocFree pins that).
+//
+//kml:coldpath
 func (fn *Float32Network) EnsureBatch(rows int) {
 	if rows <= fn.batchCap {
 		return

@@ -197,6 +197,8 @@ func (c *Cache) SetMetrics(m *Metrics) { c.metrics = m }
 
 // countWriteback adds n to both the Stats tally and, when attached, the
 // telemetry counter — every writeback site funnels through here.
+//
+//kml:hotpath
 func (c *Cache) countWriteback(n uint64) {
 	c.stats.Writebacks += n
 	if c.metrics != nil {
@@ -206,6 +208,10 @@ func (c *Cache) countWriteback(n uint64) {
 
 // --- intrusive LRU ---
 
+// lruPush links p at the MRU head. Pure pointer relinking — the page
+// allocation happened at insert — so it is safe on the per-access path.
+//
+//kml:hotpath
 func (c *Cache) lruPush(p *page) {
 	p.prev = nil
 	p.next = c.head
@@ -218,6 +224,9 @@ func (c *Cache) lruPush(p *page) {
 	}
 }
 
+// lruRemove unlinks p from the LRU list.
+//
+//kml:hotpath
 func (c *Cache) lruRemove(p *page) {
 	if p.prev != nil {
 		p.prev.next = p.next
@@ -232,6 +241,9 @@ func (c *Cache) lruRemove(p *page) {
 	p.prev, p.next = nil, nil
 }
 
+// lruTouch moves p to the MRU position on a hit.
+//
+//kml:hotpath
 func (c *Cache) lruTouch(p *page) {
 	if c.head == p {
 		return
@@ -459,6 +471,8 @@ func (c *Cache) missFetch(f FileID, st *raState, start int64, need int, seq bool
 
 // cachedRunBefore counts consecutively cached pages immediately below
 // index (the history try_context_readahead consults), capped at max.
+//
+//kml:hotpath
 func (c *Cache) cachedRunBefore(f FileID, index int64, max int) int {
 	run := 0
 	for i := index - 1; i >= 0 && run < max; i-- {
@@ -777,6 +791,8 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // a decision trace samples at window boundaries to attribute the cache
 // behaviour that followed each readahead change (dtrace StageOutcome).
 // Counting matches Stats.HitRate: wait-hits are not hits.
+//
+//kml:hotpath
 func (c *Cache) HitMissCounts() (hits, misses uint64) {
 	return c.stats.Hits, c.stats.Misses
 }

@@ -19,6 +19,8 @@ type Running struct {
 }
 
 // Add folds x into the aggregate.
+//
+//kml:hotpath
 func (r *Running) Add(x float64) {
 	r.n++
 	delta := x - r.mean
@@ -140,6 +142,8 @@ func FitZScore(xs []float64) ZScore {
 
 // Apply standardizes x. A degenerate (zero) standard deviation yields 0 so a
 // constant feature cannot poison the network with Inf/NaN.
+//
+//kml:hotpath
 func (z ZScore) Apply(x float64) float64 {
 	if z.StdDev == 0 {
 		return 0

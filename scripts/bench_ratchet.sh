@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_ratchet.sh — fail the build when the newest committed benchmark
+# snapshot regresses against the previous one.
+#
+# Compares the two newest BENCH_*<n>.json snapshots at the repo root
+# with kml-benchdiff: any ns/op, ns/sample, or allocs/op metric growing
+# by more than 15% (or any allocation count leaving zero) fails unless
+# it is spelled out on the allowlist below. Regenerate the head snapshot
+# with `make bench-json`; an intentional regression lands as an
+# allowlist entry in this file, reviewed like any other diff.
+#
+# Usage: sh scripts/bench_ratchet.sh
+#
+# Current allowlist — the PR4 -> PR5 trade documented in ROADMAP.md:
+# the fused batched-inference rewrite made rows>=16 scale (ns/sample
+# drops with batch size) at the cost of single-sample and small-batch
+# latency, and the same change pushed the float64 and Q16.16
+# single-sample paths past the 15%% line on the CI machine.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+exec go run ./cmd/kml-benchdiff -dir . -threshold 15 -allow \
+    "E5_Inference:ns/op,\
+E5_FixedInference:ns/op,\
+E5_InferenceBatched/rows1,\
+E5_InferenceBatched/rows16,\
+E5_InferenceBatched/rows64,\
+E5_InferenceBatched/rows256"
