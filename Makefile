@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check bench-json bench-ratchet ci clean
+.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke overhead-check bench-json bench-ratchet ci clean
 
 all: build
 
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/kvstore/
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
+	$(GO) test -run='^$$' -fuzz=FuzzLearnStatusDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzTracesDecode -fuzztime=$(FUZZTIME) ./internal/dtrace/
 	$(GO) test -run='^$$' -fuzz=FuzzDirectiveParse -fuzztime=$(FUZZTIME) ./internal/lint/
 
@@ -58,11 +59,18 @@ telemetry-smoke:
 trace-smoke:
 	sh scripts/trace_smoke.sh
 
+# End-to-end smoke of the closed online-learning loop: kml-served -sim
+# -olearn retrains on drift and commits through the canary; a second
+# boot with -sim-poison proves a regressing retrain is auto-rolled-back.
+online-smoke:
+	sh scripts/online_smoke.sh
+
 # Regenerate the hot-path benchmark snapshot: single-sample vs batched
 # inference (float64/float32/Q16.16) and one training iteration, as
-# machine-readable JSON. BENCHTIME shortens runs for smoke checks.
+# machine-readable JSON, best-of-BENCHCOUNT per metric. BENCHTIME and
+# BENCHCOUNT shorten runs for smoke checks.
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR5.json
+	sh scripts/bench_json.sh BENCH_PR7.json
 
 # Compare the two newest committed benchmark snapshots; fail on >15%
 # regressions that are not on the allowlist in the script.
@@ -75,7 +83,7 @@ bench-ratchet:
 overhead-check:
 	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke overhead-check vet-strict bench-ratchet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke overhead-check vet-strict bench-ratchet
 
 clean:
 	$(GO) clean ./...

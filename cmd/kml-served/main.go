@@ -23,9 +23,11 @@ import (
 	"time"
 
 	"repro/internal/blockdev"
+	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/memutil"
 	"repro/internal/mserve"
+	"repro/internal/olearn"
 	"repro/internal/readahead"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -48,6 +50,9 @@ func main() {
 		simWl     = flag.String("sim-workload", "readseq,readrandom", "comma-separated workload phases for -sim")
 		normFile  = flag.String("norm", "", "normalizer file for -sim (training-time stats; baselines the drift monitor)")
 		driftWin  = flag.Int("drift-window", 0, "drift-monitor window in decisions/requests (0 = default)")
+		olearnOn  = flag.Bool("olearn", false, "run the online-learning controller during -sim: drift-triggered retrain, canary deploy, auto-rollback")
+		simPoison = flag.Uint64("sim-poison", 0, "poison retrain cycle N during -sim -olearn (mislabels its examples; exercises the canary rollback)")
+		learnMZ   = flag.Int64("learn-budget-mz", 0, "drift-trigger shift budget in milli-z for -olearn (0 = default)")
 	)
 	flag.Parse()
 
@@ -86,7 +91,16 @@ func main() {
 	}
 
 	if *simN > 0 {
-		if err := runSim(srv, reg, *simN, *simWl, *normFile, *driftWin); err != nil {
+		opts := simOptions{
+			windows:  *simN,
+			phases:   *simWl,
+			normFile: *normFile,
+			driftWin: *driftWin,
+			olearn:   *olearnOn,
+			poison:   *simPoison,
+			budgetMZ: *learnMZ,
+		}
+		if err := runSim(srv, reg, opts); err != nil {
 			fatal(fmt.Errorf("sim: %w", err))
 		}
 	}
@@ -132,28 +146,34 @@ func main() {
 		st.Inferences, st.Rows, st.Deploys, st.Dropped)
 }
 
+// simOptions parameterizes the boot-time simulated decision loop.
+type simOptions struct {
+	windows  int
+	phases   string
+	normFile string
+	driftWin int
+	olearn   bool   // run the online-learning controller alongside the loop
+	poison   uint64 // 1-based retrain cycle to poison (0 = none)
+	budgetMZ int64  // drift-trigger shift budget (0 = default)
+}
+
 // runSim drives the full simulated decision loop — workload → tracer →
 // feature pipeline → deployed model → readahead policy → page cache —
-// for `windows` one-second decision windows, switching workload phases
-// along the way. Every decision records an end-to-end trace into the
-// server's arena (pullable via MsgTraces) and feeds the readahead drift
-// monitor, so a freshly booted daemon has real observability to show.
-func runSim(srv *mserve.Server, reg *mserve.Registry, windows int, phases, normFile string, driftWin int) error {
-	kinds, err := parseWorkloads(phases)
-	if err != nil {
-		return err
-	}
-	art, err := reg.ActiveArtifact()
-	if err != nil {
-		return fmt.Errorf("no deployed model to simulate against: %w", err)
-	}
-	inst, err := art.Instantiate()
+// for opts.windows one-second decision windows, switching workload
+// phases along the way. Every decision records an end-to-end trace into
+// the server's arena (pullable via MsgTraces) and feeds the readahead
+// drift monitor, so a freshly booted daemon has real observability to
+// show. With opts.olearn the loop also runs the closed-loop controller:
+// drift past budget retrains on recent windows in the background,
+// deploys through the server, and the canary rolls back regressions.
+func runSim(srv *mserve.Server, reg *mserve.Registry, opts simOptions) error {
+	kinds, err := parseWorkloads(opts.phases)
 	if err != nil {
 		return err
 	}
 	var norm features.Normalizer
-	if normFile != "" {
-		f, err := os.Open(normFile)
+	if opts.normFile != "" {
+		f, err := os.Open(opts.normFile)
 		if err != nil {
 			return err
 		}
@@ -162,6 +182,17 @@ func runSim(srv *mserve.Server, reg *mserve.Registry, windows int, phases, normF
 		if err != nil {
 			return err
 		}
+	}
+	if opts.olearn {
+		return runSimOnline(srv, reg, kinds, norm, opts)
+	}
+	art, err := reg.ActiveArtifact()
+	if err != nil {
+		return fmt.Errorf("no deployed model to simulate against: %w", err)
+	}
+	inst, err := art.Instantiate()
+	if err != nil {
+		return err
 	}
 	env, err := sim.NewEnv(sim.Config{Profile: blockdev.NVMe()})
 	if err != nil {
@@ -172,16 +203,16 @@ func runSim(srv *mserve.Server, reg *mserve.Registry, windows int, phases, normF
 		return err
 	}
 	tuner.Instrument(srv.MetricsRegistry(), 64)
-	tuner.InstrumentDrift(srv.MetricsRegistry(), driftWin)
+	tuner.InstrumentDrift(srv.MetricsRegistry(), opts.driftWin)
 	tuner.EnableTracing(srv.TraceArena(), env.Cache.HitMissCounts)
 	env.Tracer.Register(tuner.Hook())
 
-	perPhase := (windows + len(kinds) - 1) / len(kinds)
+	perPhase := (opts.windows + len(kinds) - 1) / len(kinds)
 	tuner.MaybeTick(env.Clk.Now()) // arm the first window
 	decided := 0
 	for _, k := range kinds {
 		runner := env.NewRunner(k)
-		for w := 0; w < perPhase && decided < windows; w++ {
+		for w := 0; w < perPhase && decided < opts.windows; w++ {
 			deadline := env.Clk.Now() + 1100*time.Millisecond
 			for env.Clk.Now() < deadline {
 				if err := runner.Step(); err != nil {
@@ -194,7 +225,104 @@ func runSim(srv *mserve.Server, reg *mserve.Registry, windows int, phases, normF
 	}
 	tuner.FlushTrace()
 	fmt.Printf("sim: %d decision windows across %s, %d traces retained, hit rate %.3f\n",
-		decided, phases, srv.TraceArena().Len(), env.Cache.Stats().HitRate())
+		decided, opts.phases, srv.TraceArena().Len(), env.Cache.Stats().HitRate())
+	return nil
+}
+
+// runSimOnline is the -olearn variant of runSim: the tuner follows a
+// hot-swap Deployment the controller keeps in lockstep with the server's
+// registry, so a drift-triggered retrain visibly changes the loop's
+// decisions (and a poisoned one visibly regresses and rolls back).
+func runSimOnline(srv *mserve.Server, reg *mserve.Registry, kinds []workload.Kind, norm features.Normalizer, opts simOptions) error {
+	active, ok := reg.Active()
+	if !ok {
+		return fmt.Errorf("no deployed model to simulate against")
+	}
+	inst, err := reg.Instance(active.Number)
+	if err != nil {
+		return err
+	}
+	// A cache much smaller than the dataset, so readahead decisions —
+	// not residency — dominate the hit rate the canary judges by.
+	env, err := sim.NewEnv(sim.Config{Profile: blockdev.NVMe(), Keys: 6000, CachePages: 128, Seed: 7})
+	if err != nil {
+		return err
+	}
+	dep := mserve.NewDeployment[core.Classifier](inst, active.Number)
+	// Contrast policy: scans get deep readahead, everything else shallow.
+	// A model that stops recognizing the running scan starves it from 1
+	// window fills — a regression the hit-rate canary can actually see.
+	// Both values sit inside the offline training sweep {8..1024}, so
+	// the readahead feature stays in-distribution either way.
+	policy := readahead.Policy{256, 8, 8, 8}
+	tuner, err := readahead.NewDeployedTuner(env.Dev, dep, norm, readahead.TunerConfig{Policy: policy})
+	if err != nil {
+		return err
+	}
+	tuner.Instrument(srv.MetricsRegistry(), 64)
+	drift := tuner.InstrumentDrift(srv.MetricsRegistry(), opts.driftWin)
+	tuner.EnableTracing(srv.TraceArena(), env.Cache.HitMissCounts)
+	env.Tracer.Register(tuner.Hook())
+
+	ctl, err := olearn.New(olearn.Config{
+		Server:      srv,
+		Drift:       drift,
+		Arena:       srv.TraceArena(),
+		Norm:        norm,
+		TunerDeploy: dep,
+		Trigger:     olearn.TriggerConfig{ShiftBudgetMilliZ: opts.budgetMZ},
+		// Small batches and a small keep-latest ring: a boot-time sim has
+		// tens of windows, and recent ones should dominate a retrain.
+		Train:           readahead.TrainConfig{Epochs: 120, Batch: 8},
+		Capacity:        16,
+		MinExamples:     8,
+		CanaryWindows:   3,
+		BaselineWindows: 4,
+		Metrics:         srv.MetricsRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	if opts.poison > 0 {
+		ctl.PoisonRetrain(opts.poison)
+	}
+	tuner.SetSampleSink(ctl.AddSample)
+	srv.SetLearnSource(ctl.Status)
+
+	perPhase := (opts.windows + len(kinds) - 1) / len(kinds)
+	tuner.MaybeTick(env.Clk.Now()) // arm the first window
+	decided := 0
+	for _, k := range kinds {
+		runner := env.NewRunner(k)
+		for w := 0; w < perPhase && decided < opts.windows; w++ {
+			deadline := env.Clk.Now() + 1100*time.Millisecond
+			for env.Clk.Now() < deadline {
+				for i := 0; i < 16 && env.Clk.Now() < deadline; i++ {
+					if err := runner.Step(); err != nil {
+						return err
+					}
+				}
+				// Drain the collection ring between step batches
+				// (MaybeTick flushes every call but decides once per
+				// window) so a deep-readahead event storm cannot
+				// overflow it.
+				tuner.MaybeTick(env.Clk.Now())
+			}
+			ctl.Step()
+			if ctl.State() == olearn.StateRetraining && !ctl.Settle(2*time.Minute) {
+				return fmt.Errorf("retrain did not settle")
+			}
+			decided++
+		}
+	}
+	tuner.FlushTrace()
+	ctl.Step() // settle a transient committed/rolled-back state
+	st := ctl.Status()
+	fmt.Printf("sim: %d decision windows across %s, %d traces retained, hit rate %.3f\n",
+		decided, opts.phases, srv.TraceArena().Len(), env.Cache.Stats().HitRate())
+	fmt.Printf("olearn: state=%s retrains=%d deploys=%d commits=%d rollbacks=%d fires=%d v%d\n",
+		mserve.LearnStateName(st.State), st.Retrains, st.Deploys, st.Commits, st.Rollbacks,
+		st.TriggerFires, st.LastVersion)
 	return nil
 }
 
@@ -271,7 +399,27 @@ func printStatus(network, addr string) int {
 		fmt.Printf("decision t=%d class=%d rows=%d v%d\n", d.TimeNanos, d.Class, d.Rows, d.Version)
 	}
 	printDriftSummary(snap)
+	printLearnStatus(cl)
 	return 0
+}
+
+// printLearnStatus renders the online-learning controller snapshot, when
+// one is wired in (a daemon without -olearn reports the idle zero value).
+func printLearnStatus(cl *mserve.Client) {
+	st, err := cl.LearnStatus()
+	if err != nil {
+		// Daemons predating MsgLearnStatus simply lack the surface.
+		return
+	}
+	fmt.Printf("learn state=%s retrains=%d deploys=%d commits=%d rollbacks=%d fires=%d examples=%d v%d baseline=%dpm canary=%dpm\n",
+		mserve.LearnStateName(st.State), st.Retrains, st.Deploys, st.Commits, st.Rollbacks,
+		st.TriggerFires, st.Examples, st.LastVersion, st.BaselinePM, st.CanaryPM)
+	for _, e := range st.Events {
+		fmt.Printf("retrain v%d %s examples=%d train=%s baseline=%dpm canary=%dpm shift=%+.2fz churn=%dpm\n",
+			e.Version, mserve.RetrainOutcomeName(e.Outcome), e.Examples,
+			time.Duration(e.DurationNanos).Round(time.Millisecond),
+			e.BaselinePM, e.CanaryPM, float64(e.MaxShiftMZ)/1000, e.ChurnPM)
+	}
 }
 
 // printDriftSummary condenses the drift gauges (registered under

@@ -10,6 +10,7 @@
 //	kml-trace -addr /run/kml.sock -slow 5us       # slow decisions only
 //	kml-trace -addr /run/kml.sock -since 10s      # recent decisions only
 //	kml-trace -addr /run/kml.sock -id 42          # one trace by ID
+//	kml-trace -addr /run/kml.sock -learn          # retrain history instead of traces
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		class   = flag.Int("class", -1, "show only decisions for this class (-1 = all)")
 		since   = flag.Duration("since", 0, "show only traces started within this window (0 = all)")
 		slow    = flag.Duration("slow", 0, "show only traces at least this long end to end (0 = all)")
+		learn   = flag.Bool("learn", false, "show the online-learning controller's retrain history instead of traces")
 	)
 	flag.Parse()
 
@@ -39,6 +41,10 @@ func main() {
 		fatal(err)
 	}
 	defer cl.Close()
+	if *learn {
+		printLearn(cl)
+		return
+	}
 	traces, err := cl.Traces()
 	if err != nil {
 		fatal(err)
@@ -77,6 +83,26 @@ func main() {
 	printBreakdown(byStage)
 	fmt.Printf("%d traces shown, %d complete (%d retained by server)\n",
 		shown, complete, len(traces))
+}
+
+// printLearn renders the MsgLearnStatus surface: the controller's live
+// counters plus one line per retrain cycle in its flight recorder.
+func printLearn(cl *mserve.Client) {
+	st, err := cl.LearnStatus()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("learn state=%s retrains=%d deploys=%d commits=%d rollbacks=%d fires=%d examples=%d v%d\n",
+		mserve.LearnStateName(st.State), st.Retrains, st.Deploys, st.Commits,
+		st.Rollbacks, st.TriggerFires, st.Examples, st.LastVersion)
+	for _, e := range st.Events {
+		fmt.Printf("retrain v%-3d %s  %s  examples=%d train=%s baseline=%dpm canary=%dpm shift=%+.2fz churn=%dpm\n",
+			e.Version, time.Unix(0, int64(e.TimeNanos)).Format("15:04:05.000"),
+			mserve.RetrainOutcomeName(e.Outcome), e.Examples,
+			time.Duration(e.DurationNanos).Round(time.Millisecond),
+			e.BaselinePM, e.CanaryPM, float64(e.MaxShiftMZ)/1000, e.ChurnPM)
+	}
+	fmt.Printf("%d retrain events\n", len(st.Events))
 }
 
 // printTrace renders one trace as a span tree. Children of span i carry

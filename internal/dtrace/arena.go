@@ -61,6 +61,59 @@ func (a *Arena) Record(t *Trace) {
 	a.mu.Unlock()
 }
 
+// Cursor returns the arena's write cursor: the total number of traces
+// ever recorded. A reader that remembers a cursor can later fetch only
+// what arrived after it with ReadNewer.
+func (a *Arena) Cursor() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.w
+}
+
+// ReadNewer copies traces recorded after cursor `since` into dst, oldest
+// first, and returns the count copied plus the cursor to pass next time.
+// Traces that have already been overwritten are silently skipped (the
+// returned cursor accounts for them), and at most len(dst) traces are
+// copied per call — loop until the count is zero to drain. The
+// destination is caller-owned, so a polling consumer (the online-learning
+// controller) reads the arena without allocating.
+//
+//kml:hotpath
+func (a *Arena) ReadNewer(since uint64, dst []Trace) (int, uint64) {
+	if len(dst) == 0 {
+		return 0, since
+	}
+	a.mu.Lock()
+	if since > a.w {
+		// A cursor from a different arena (or a reset); resync to "now"
+		// rather than replaying the whole ring.
+		w := a.w
+		a.mu.Unlock()
+		return 0, w
+	}
+	start := since
+	if horizon := a.w - min64(a.w, uint64(len(a.slots))); start < horizon {
+		start = horizon
+	}
+	n := a.w - start
+	if n > uint64(len(dst)) {
+		n = uint64(len(dst))
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = a.slots[(start+i)&a.mask]
+	}
+	a.mu.Unlock()
+	return int(n), start + n
+}
+
+//kml:hotpath
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Snapshot returns a copy of the retained traces, oldest first.
 func (a *Arena) Snapshot() []Trace {
 	a.mu.Lock()

@@ -328,6 +328,39 @@ func (m *DriftMonitor) RegisterMetrics(reg *telemetry.Registry, prefix string) {
 	})
 }
 
+// Rebaseline discards the monitor's reference population and refits it
+// on the next completed window, exactly as a freshly self-baselined
+// monitor would. The online-learning controller calls this after a
+// committed retrain (the model now embodies the shifted distribution, so
+// continuing to measure against the stale baseline would hold the drift
+// signal high forever and either thrash retraining or wedge the
+// trigger's hysteresis) and after a rollback (so a persistent shift has
+// to re-establish itself against fresh statistics before firing again).
+// The in-progress window is restarted; published gauges keep the last
+// completed window's values until the refit window rolls, except Drifted
+// which clears immediately — the old verdict is void once its baseline
+// is gone.
+func (m *DriftMonitor) Rebaseline() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.baseReady = false
+	m.baseMean, m.baseStd = nil, nil
+	m.fit = make([]stats.Running, m.features)
+	for i := range m.winSum {
+		m.winSum[i] = 0
+	}
+	for c := range m.winClass {
+		m.winClass[c] = 0
+	}
+	m.winN, m.churn = 0, 0
+	m.haveCls = false
+	m.pub.Drifted = false
+	m.pub.BaselineReady = false
+	if m.gDrifted != nil {
+		m.gDrifted.Set(0)
+	}
+}
+
 // Report returns the last completed window's evaluation (copied), with
 // live cumulative counters.
 func (m *DriftMonitor) Report() DriftReport {

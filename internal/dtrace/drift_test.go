@@ -220,3 +220,44 @@ func TestDriftConfigValidation(t *testing.T) {
 		NewDriftMonitor(DriftConfig{Features: 2, Classes: 1, TrainMeans: []float64{0}, TrainStds: []float64{1}})
 	})
 }
+
+func TestDriftRebaseline(t *testing.T) {
+	m := NewDriftMonitor(DriftConfig{
+		Features:   1,
+		Classes:    2,
+		Window:     4,
+		TrainMeans: []float64{0},
+		TrainStds:  []float64{1},
+	})
+	// Live mean 10 vs training mean 0/std 1: massive shift, drifted.
+	for i := 0; i < 4; i++ {
+		m.Observe([]float64{10}, 0)
+	}
+	if r := m.Report(); !r.Drifted || r.MaxShift < 5 {
+		t.Fatalf("expected drifted report before rebaseline, got %+v", r)
+	}
+	// Rebaseline: the verdict clears immediately and the next completed
+	// window refits the reference on the NEW population, so the same
+	// traffic no longer reads as drift.
+	m.Rebaseline()
+	if r := m.Report(); r.Drifted || r.BaselineReady {
+		t.Fatalf("rebaselined monitor should be undrifted with no baseline, got %+v", r)
+	}
+	for i := 0; i < 8; i++ {
+		m.Observe([]float64{10}, 0)
+	}
+	r := m.Report()
+	if !r.BaselineReady {
+		t.Fatal("baseline should refit after a completed window")
+	}
+	if r.Drifted || abs(r.Shift[0]) > 0.5 {
+		t.Fatalf("post-rebaseline traffic at the new mean should not drift, got %+v", r)
+	}
+	// A fresh shift against the refit baseline is detected again.
+	for i := 0; i < 4; i++ {
+		m.Observe([]float64{200}, 0)
+	}
+	if r := m.Report(); !r.Drifted {
+		t.Fatalf("shift against refit baseline should drift, got %+v", r)
+	}
+}

@@ -291,3 +291,76 @@ func TestStageString(t *testing.T) {
 		t.Fatal("out-of-range stage should render as stage?")
 	}
 }
+
+func TestArenaReadNewer(t *testing.T) {
+	a := NewArena(4)
+	buf := make([]Trace, 2)
+	// Empty arena: nothing to read, cursor stays at zero.
+	if n, cur := a.ReadNewer(0, buf); n != 0 || cur != 0 {
+		t.Fatalf("ReadNewer on empty arena = (%d, %d), want (0, 0)", n, cur)
+	}
+	for i := 1; i <= 3; i++ {
+		tr := buildTestTrace(a.NextID())
+		a.Record(&tr)
+	}
+	// Drain in chunks of len(buf): 2 then 1.
+	n, cur := a.ReadNewer(0, buf)
+	if n != 2 || cur != 2 || buf[0].ID != 1 || buf[1].ID != 2 {
+		t.Fatalf("first read = (%d, %d) ids %d,%d; want (2, 2) ids 1,2", n, cur, buf[0].ID, buf[1].ID)
+	}
+	n, cur = a.ReadNewer(cur, buf)
+	if n != 1 || cur != 3 || buf[0].ID != 3 {
+		t.Fatalf("second read = (%d, %d) id %d; want (1, 3) id 3", n, cur, buf[0].ID)
+	}
+	if n, cur = a.ReadNewer(cur, buf); n != 0 || cur != 3 {
+		t.Fatalf("drained read = (%d, %d), want (0, 3)", n, cur)
+	}
+	// Overflow past the reader: traces 4..9 overwrite 1..5; a reader at
+	// cursor 3 lost traces 4,5 and resumes at the horizon (6..9 retained).
+	for i := 4; i <= 9; i++ {
+		tr := buildTestTrace(a.NextID())
+		a.Record(&tr)
+	}
+	n, cur = a.ReadNewer(3, buf)
+	if n != 2 || cur != 7 || buf[0].ID != 6 || buf[1].ID != 7 {
+		t.Fatalf("post-overflow read = (%d, %d) ids %d,%d; want (2, 7) ids 6,7", n, cur, buf[0].ID, buf[1].ID)
+	}
+	// A cursor beyond the writer (stale arena swap) resyncs to now.
+	if n, cur = a.ReadNewer(1000, buf); n != 0 || cur != 9 {
+		t.Fatalf("future cursor read = (%d, %d), want (0, 9)", n, cur)
+	}
+	if got := a.Cursor(); got != 9 {
+		t.Fatalf("Cursor = %d, want 9", got)
+	}
+	// Zero-length destination is a no-op.
+	if n, cur = a.ReadNewer(2, nil); n != 0 || cur != 2 {
+		t.Fatalf("nil dst read = (%d, %d), want (0, 2)", n, cur)
+	}
+}
+
+// TestArenaReadNewerAllocFree pins the polling path the online-learning
+// controller runs on: reading new traces into a caller-owned buffer must
+// not allocate.
+func TestArenaReadNewerAllocFree(t *testing.T) {
+	a := NewArena(64)
+	for i := 0; i < 32; i++ {
+		tr := buildTestTrace(a.NextID())
+		a.Record(&tr)
+	}
+	buf := make([]Trace, 8)
+	cur := uint64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := buildTestTrace(a.NextID())
+		a.Record(&tr)
+		for {
+			n, c := a.ReadNewer(cur, buf)
+			cur = c
+			if n == 0 {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadNewer allocates %.1f times per poll, want 0", allocs)
+	}
+}

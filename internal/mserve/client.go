@@ -168,6 +168,18 @@ func (cl *Client) Traces() ([]dtrace.Trace, error) {
 	return dtrace.ParseTraces(resp)
 }
 
+// LearnStatus fetches the online-learning controller's snapshot: state
+// machine position, lifecycle counters, canary comparison, and the
+// retrain-event history. A server without a controller answers the zero
+// status.
+func (cl *Client) LearnStatus() (LearnStatus, error) {
+	_, resp, err := cl.do(MsgLearnStatus, nil)
+	if err != nil {
+		return LearnStatus{}, err
+	}
+	return ParseLearnStatus(resp)
+}
+
 // Health reports whether the server is serving, the active version, and
 // the deployed model's input width.
 func (cl *Client) Health() (ok bool, version uint64, inDim int, err error) {

@@ -140,3 +140,47 @@ func FuzzMetricsDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLearnStatusDecode drives the MsgLearnStatus parser with hostile
+// input and pins the same canonical-encoding invariant as the other wire
+// decoders: Append(Parse(b)) == b for every accepted b, and no input may
+// panic, over-read, or size an allocation from an unvalidated count.
+func FuzzLearnStatusDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendLearnStatus(nil, LearnStatus{BaselinePM: -1, CanaryPM: -1}))
+	f.Add(AppendLearnStatus(nil, LearnStatus{
+		State:    LearnCanary,
+		Retrains: 3, Deploys: 4, Rollbacks: 1, Commits: 2,
+		TriggerFires: 5, Examples: 256, LastVersion: 9,
+		BaselinePM: 700, CanaryPM: 650,
+		Events: []RetrainEvent{
+			{TimeNanos: 1, Version: 8, DurationNanos: 2_000_000, Examples: 128,
+				Outcome: RetrainCommitted, BaselinePM: 600, CanaryPM: 700,
+				MaxShiftMZ: 2500, ChurnPM: 120},
+			{TimeNanos: 2, Version: 9, Outcome: RetrainPending,
+				BaselinePM: -1, CanaryPM: -1},
+		},
+	}))
+	f.Add([]byte{6})                                  // out-of-range state
+	f.Add(append(AppendLearnStatus(nil, LearnStatus{}), 1)) // trailing byte
+	lying := AppendLearnStatus(nil, LearnStatus{})
+	lying[len(lying)-2] = 0xFF // event count with no event bytes
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := ParseLearnStatus(b)
+		if err != nil {
+			return
+		}
+		if len(st.Events) > MaxRetrainEvents {
+			t.Fatalf("parsed status exceeds event cap: %d", len(st.Events))
+		}
+		if st.State > LearnRolledBack {
+			t.Fatalf("parsed out-of-range state %d", st.State)
+		}
+		re := AppendLearnStatus(nil, st)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", b, re)
+		}
+	})
+}

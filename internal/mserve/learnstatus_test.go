@@ -1,0 +1,116 @@
+package mserve
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sampleLearnStatus() LearnStatus {
+	return LearnStatus{
+		State:    LearnCanary,
+		Retrains: 2, Deploys: 3, Rollbacks: 1, Commits: 1,
+		TriggerFires: 4, Examples: 200, LastVersion: 7,
+		BaselinePM: 812, CanaryPM: 795,
+		Events: []RetrainEvent{
+			{TimeNanos: 10, Version: 6, DurationNanos: 3_500_000, Examples: 180,
+				Outcome: RetrainRolledBack, BaselinePM: 800, CanaryPM: 500,
+				MaxShiftMZ: 4200, ChurnPM: 90},
+			{TimeNanos: 20, Version: 7, DurationNanos: 3_100_000, Examples: 200,
+				Outcome: RetrainPending, BaselinePM: 812, CanaryPM: -1,
+				MaxShiftMZ: 4100, ChurnPM: 110},
+		},
+	}
+}
+
+func TestLearnStatusRoundTrip(t *testing.T) {
+	st := sampleLearnStatus()
+	b := AppendLearnStatus(nil, st)
+	got, err := ParseLearnStatus(b)
+	if err != nil {
+		t.Fatalf("ParseLearnStatus: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+	// Canonical: re-encode is byte-identical.
+	if re := AppendLearnStatus(nil, got); string(re) != string(b) {
+		t.Fatal("re-encode differs from original")
+	}
+	// Zero status (no controller) round-trips too.
+	zb := AppendLearnStatus(nil, LearnStatus{BaselinePM: -1, CanaryPM: -1})
+	z, err := ParseLearnStatus(zb)
+	if err != nil || z.State != LearnIdle || z.BaselinePM != -1 || len(z.Events) != 0 {
+		t.Fatalf("zero status round trip = %+v, %v", z, err)
+	}
+}
+
+func TestLearnStatusRejectsMalformed(t *testing.T) {
+	good := AppendLearnStatus(nil, sampleLearnStatus())
+	cases := map[string][]byte{
+		"empty":           {},
+		"short header":    good[:10],
+		"bad state":       append([]byte{LearnRolledBack + 1}, good[1:]...),
+		"trailing byte":   append(append([]byte{}, good...), 0),
+		"truncated event": good[:len(good)-1],
+		"bad outcome": func() []byte {
+			b := append([]byte{}, good...)
+			b[learnHeaderSize+28] = RetrainFailed + 1
+			return b
+		}(),
+		"nonzero padding": func() []byte {
+			b := append([]byte{}, good...)
+			b[learnHeaderSize+29] = 1
+			return b
+		}(),
+		"lying count": func() []byte {
+			b := append([]byte{}, good...)
+			b[learnHeaderSize-2] = 0xFF
+			b[learnHeaderSize-1] = 0xFF
+			return b
+		}(),
+	}
+	for name, p := range cases {
+		if _, err := ParseLearnStatus(p); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestLearnStatusEventCap(t *testing.T) {
+	st := LearnStatus{}
+	for i := 0; i < MaxRetrainEvents+10; i++ {
+		st.Events = append(st.Events, RetrainEvent{TimeNanos: uint64(i)})
+	}
+	b := AppendLearnStatus(nil, st)
+	got, err := ParseLearnStatus(b)
+	if err != nil {
+		t.Fatalf("ParseLearnStatus: %v", err)
+	}
+	if len(got.Events) != MaxRetrainEvents {
+		t.Fatalf("event count = %d, want cap %d", len(got.Events), MaxRetrainEvents)
+	}
+	// Newest events survive the cap.
+	if got.Events[0].TimeNanos != 10 || got.Events[len(got.Events)-1].TimeNanos != uint64(MaxRetrainEvents+9) {
+		t.Fatalf("cap kept wrong tail: first=%d last=%d",
+			got.Events[0].TimeNanos, got.Events[len(got.Events)-1].TimeNanos)
+	}
+}
+
+func TestLearnStateNames(t *testing.T) {
+	for s := uint8(0); s <= LearnRolledBack; s++ {
+		if LearnStateName(s) == "?" {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+	if LearnStateName(99) != "?" {
+		t.Error("unknown state should render ?")
+	}
+	for o := uint8(0); o <= RetrainFailed; o++ {
+		if RetrainOutcomeName(o) == "?" {
+			t.Errorf("outcome %d has no name", o)
+		}
+	}
+	if RetrainOutcomeName(99) != "?" {
+		t.Error("unknown outcome should render ?")
+	}
+}

@@ -41,6 +41,10 @@ const (
 	// decision traces in dtrace's canonical wire format (see
 	// dtrace.AppendTraces for the layout).
 	MsgTraces MsgType = 8
+	// MsgLearnStatus: empty request; response is the online-learning
+	// controller's snapshot (see AppendLearnStatus in learnstatus.go for
+	// the layout). A server with no controller answers the zero status.
+	MsgLearnStatus MsgType = 9
 	// MsgError: server→client only; payload is a UTF-8 message.
 	MsgError MsgType = 0x7F
 )

@@ -111,8 +111,13 @@ type Server struct {
 	arenaRejects atomic.Uint64
 
 	reg      *telemetry.Registry
-	reqNanos [9]*telemetry.Histogram // indexed by request MsgType
+	reqNanos [10]*telemetry.Histogram // indexed by request MsgType
 	flight   *telemetry.FlightRecorder[MetricsDecision]
+
+	// learnSource, when set, snapshots the online-learning controller
+	// for MsgLearnStatus; the controller lives outside mserve
+	// (internal/olearn) and registers itself via SetLearnSource.
+	learnSource atomic.Pointer[func() LearnStatus]
 
 	// traces retains per-request span trees (root/parse/infer/encode)
 	// for the inference endpoints; drift holds the monitor for the
@@ -124,15 +129,16 @@ type Server struct {
 
 // reqHistNames maps request MsgTypes to their latency-histogram names.
 // Index 0 and MsgError have no histogram; the dispatch timer skips them.
-var reqHistNames = [9]string{
-	MsgInfer:      "mserve_infer_ns",
-	MsgBatchInfer: "mserve_batch_infer_ns",
-	MsgDeploy:     "mserve_deploy_ns",
-	MsgRollback:   "mserve_rollback_ns",
-	MsgStats:      "mserve_stats_ns",
-	MsgHealth:     "mserve_health_ns",
-	MsgMetrics:    "mserve_metrics_ns",
-	MsgTraces:     "mserve_traces_ns",
+var reqHistNames = [10]string{
+	MsgInfer:       "mserve_infer_ns",
+	MsgBatchInfer:  "mserve_batch_infer_ns",
+	MsgDeploy:      "mserve_deploy_ns",
+	MsgRollback:    "mserve_rollback_ns",
+	MsgStats:       "mserve_stats_ns",
+	MsgHealth:      "mserve_health_ns",
+	MsgMetrics:     "mserve_metrics_ns",
+	MsgTraces:      "mserve_traces_ns",
+	MsgLearnStatus: "mserve_learn_ns",
 }
 
 // flightDepth is how many served decisions the flight recorder retains.
@@ -238,6 +244,11 @@ func (s *Server) installDrift(a *Artifact) {
 // that want to follow the served model (e.g. a co-located tuner).
 func (s *Server) Deployment() *Deployment[*Artifact] { return s.dep }
 
+// Registry returns the backing model store, for in-process control
+// planes (the online-learning controller) that need to materialize
+// artifacts of the versions they deploy.
+func (s *Server) Registry() *Registry { return s.cfg.Registry }
+
 // Deploy registers and activates a new model version, hot-swapping it
 // into the serving path. In-flight requests finish on the old version.
 func (s *Server) Deploy(kind ModelKind, name string, model []byte) (Version, error) {
@@ -337,6 +348,26 @@ func (s *Server) TraceArena() *dtrace.Arena { return s.traces }
 
 // Traces returns the retained request traces, oldest first.
 func (s *Server) Traces() []dtrace.Trace { return s.traces.Snapshot() }
+
+// SetLearnSource registers the online-learning controller's snapshot
+// function for MsgLearnStatus; nil detaches. Safe to call while serving.
+func (s *Server) SetLearnSource(fn func() LearnStatus) {
+	if fn == nil {
+		s.learnSource.Store(nil)
+		return
+	}
+	s.learnSource.Store(&fn)
+}
+
+// LearnStatus snapshots the attached online-learning controller, or the
+// zero status (state idle, no history) when none is attached — a server
+// without a controller still answers MsgLearnStatus cleanly.
+func (s *Server) LearnStatus() LearnStatus {
+	if fn := s.learnSource.Load(); fn != nil {
+		return (*fn)()
+	}
+	return LearnStatus{BaselinePM: -1, CanaryPM: -1}
+}
 
 // Drift returns the drift report for the currently deployed model, or
 // false if nothing is deployed.
@@ -559,6 +590,9 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 	case MsgTraces:
 		sc.resp = dtrace.AppendTraces(sc.resp[:0], s.Traces())
 		return MsgTraces, sc.resp
+	case MsgLearnStatus:
+		sc.resp = AppendLearnStatus(sc.resp[:0], s.LearnStatus())
+		return MsgLearnStatus, sc.resp
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {

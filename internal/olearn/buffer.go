@@ -1,0 +1,61 @@
+// The bounded training-example buffer: a keep-latest ring of raw
+// (pre-normalization) feature windows, fed once per tuner decision by
+// the sample sink. Like the dtrace arena it owns its storage and
+// overwrites the oldest entry under overflow — the recent past is what
+// retraining wants — and the add path is a slot copy, so the decision
+// tick pays nothing for feeding it.
+package olearn
+
+import "repro/internal/features"
+
+// example is one buffered training sample: the raw candidate vector and
+// the class the then-deployed model predicted (retraining ignores the
+// prediction and relabels heuristically; it is retained for diagnosis).
+type example struct {
+	raw   features.Vector
+	class int32
+}
+
+// exampleRing is a fixed-capacity keep-latest ring. Not safe for
+// concurrent use; the controller serializes access under its lock.
+type exampleRing struct {
+	slots []example
+	w     uint64 // total examples ever added
+}
+
+func newExampleRing(capacity int) *exampleRing {
+	return &exampleRing{slots: make([]example, capacity)}
+}
+
+// add copies one example into the next slot, overwriting the oldest
+// when full.
+//
+//kml:hotpath
+func (r *exampleRing) add(raw features.Vector, class int) {
+	r.slots[r.w%uint64(len(r.slots))] = example{raw: raw, class: int32(class)}
+	r.w++
+}
+
+// len returns the number of retained examples.
+//
+//kml:hotpath
+func (r *exampleRing) len() int {
+	if r.w > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(r.w)
+}
+
+// snapshot copies the retained examples into dst (which must hold
+// len()), oldest first, and returns the count.
+func (r *exampleRing) snapshot(dst []example) int {
+	n := uint64(r.len())
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.slots[(r.w-n+i)%uint64(len(r.slots))]
+	}
+	return int(n)
+}
+
+// reset drops every retained example (called after a retrain consumes
+// the buffer, so the next cycle trains on post-deploy traffic).
+func (r *exampleRing) reset() { r.w = 0 }

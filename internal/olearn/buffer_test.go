@@ -1,0 +1,102 @@
+package olearn
+
+import (
+	"testing"
+
+	"repro/internal/features"
+)
+
+func vec(v float64) features.Vector {
+	var x features.Vector
+	for i := range x {
+		x[i] = v
+	}
+	return x
+}
+
+// TestExampleRing pins keep-latest overflow and oldest-first snapshots.
+func TestExampleRing(t *testing.T) {
+	r := newExampleRing(4)
+	if r.len() != 0 {
+		t.Fatalf("empty ring len = %d", r.len())
+	}
+	for i := 0; i < 3; i++ {
+		r.add(vec(float64(i)), i)
+	}
+	if r.len() != 3 {
+		t.Fatalf("len = %d, want 3", r.len())
+	}
+	dst := make([]example, 4)
+	n := r.snapshot(dst)
+	if n != 3 || dst[0].raw[0] != 0 || dst[2].raw[0] != 2 {
+		t.Fatalf("snapshot = %d examples, first=%v last=%v", n, dst[0].raw[0], dst[2].raw[0])
+	}
+
+	// Overflow: 6 total adds into capacity 4 keeps the newest 4.
+	for i := 3; i < 6; i++ {
+		r.add(vec(float64(i)), i)
+	}
+	if r.len() != 4 {
+		t.Fatalf("len after overflow = %d, want 4", r.len())
+	}
+	n = r.snapshot(dst)
+	if n != 4 {
+		t.Fatalf("snapshot after overflow = %d", n)
+	}
+	for i := 0; i < 4; i++ {
+		if want := float64(i + 2); dst[i].raw[0] != want || dst[i].class != int32(i+2) {
+			t.Fatalf("slot %d = (%v, %d), want (%v, %d)", i, dst[i].raw[0], dst[i].class, want, i+2)
+		}
+	}
+
+	r.reset()
+	if r.len() != 0 {
+		t.Fatalf("len after reset = %d", r.len())
+	}
+}
+
+// TestExampleRingAddAllocFree pins the sample-sink path at zero
+// allocations: it runs inline on the tuner's decision tick.
+func TestExampleRingAddAllocFree(t *testing.T) {
+	r := newExampleRing(8)
+	v := vec(1)
+	if allocs := testing.AllocsPerRun(200, func() { r.add(v, 1) }); allocs != 0 {
+		t.Fatalf("add allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestLabelerThresholds pins the decision boundaries of the heuristic
+// labeler on synthetic vectors.
+func TestLabelerThresholds(t *testing.T) {
+	mk := func(sign, writeFrac, mad float64) features.Vector {
+		var v features.Vector
+		v[features.FeatDeltaSign] = sign
+		v[features.FeatWriteFrac] = writeFrac
+		v[features.FeatMeanAbsDelta] = mad
+		return v
+	}
+	cases := []struct {
+		sign, wf, mad float64
+		want          int
+	}{
+		{0.9, 0, 2, classReadSeq},
+		{0.51, 0, 2, classReadSeq},
+		{0.5, 0, 2, classReadRandom}, // at the sign boundary: not a scan
+		{0, 0, 200, classReadRandom},
+		{-0.5, 0, 2, classReadRandom},
+		{-0.51, 0, 2, classReadReverse},
+		{-1, 0, 2, classReadReverse},
+		{0.9, 0.16, 2, classReadWrite}, // write fraction dominates direction
+		{0, 0.5, 0.5, classReadWrite},
+		{0, 0.15, 200, classReadRandom}, // at the boundary: still a pure read
+		// Readahead-polluted random traffic: ascending fill pages push the
+		// sign scan-ward, but the jump magnitude gives it away.
+		{0.8, 0, 43, classReadRandom},
+		{0.9, 0, 16, classReadSeq}, // at the jump boundary: trust the sign
+	}
+	for _, tc := range cases {
+		if got := label(mk(tc.sign, tc.wf, tc.mad)); got != tc.want {
+			t.Errorf("label(sign=%v, writeFrac=%v, mad=%v) = %d, want %d", tc.sign, tc.wf, tc.mad, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Online labeling. Offline training labels each window with the known
+// workload kind that generated it (dataset.go); online there is no
+// oracle, so the controller labels buffered windows with the same
+// physical signatures the feature analysis identified (features package
+// doc): scan direction lives in the delta-sign statistic, write traffic
+// in the writeback fraction. The rule is deliberately the crudest thing
+// that works — the point of the model is to interpolate and smooth what
+// the rule decides per-window — and its agreement with the workload
+// oracle is pinned by TestLabelerAgreesWithOracle on simulated windows.
+package olearn
+
+import "repro/internal/features"
+
+// Label thresholds. A pure sequential window has mean delta sign ≈ +1
+// (reverse ≈ -1) and a mean absolute page delta of ~2 pages; random
+// access jumps tens to hundreds of pages per event, and stays above ~40
+// even under the largest readahead setting — which matters because
+// aggressive readahead inserts its fill pages in ascending order and
+// drags a random window's delta SIGN up to ~0.8, so magnitude, not
+// direction, is what separates a scan from polluted random traffic. The
+// write fraction separates the mixed read/write workload from pure
+// reads well before 50/50 because only dirtied pages emit writeback
+// tracepoints.
+const (
+	labelSeqSign    = 0.5  // |mean delta sign| above this is a scan...
+	labelRandomJump = 16.0 // ...unless the mean |delta| exceeds this many pages
+	labelWriteFrac  = 0.15 // writeback fraction above this is write-mixed
+)
+
+// Workload classes, mirroring workload.Kind.Class() for the four
+// training kinds.
+const (
+	classReadSeq     = 0
+	classReadRandom  = 1
+	classReadReverse = 2
+	classReadWrite   = 3
+)
+
+// label maps one raw feature window to a training class.
+func label(raw features.Vector) int {
+	if raw[features.FeatWriteFrac] > labelWriteFrac {
+		return classReadWrite
+	}
+	if raw[features.FeatMeanAbsDelta] > labelRandomJump {
+		return classReadRandom
+	}
+	switch sign := raw[features.FeatDeltaSign]; {
+	case sign > labelSeqSign:
+		return classReadSeq
+	case sign < -labelSeqSign:
+		return classReadReverse
+	default:
+		return classReadRandom
+	}
+}

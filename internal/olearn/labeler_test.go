@@ -1,0 +1,35 @@
+package olearn
+
+import "testing"
+
+// TestLabelerAgreesWithOracle runs the four training workloads through
+// the real simulated stack (the same collection path offline training
+// uses) and checks the heuristic online labeler recovers the workload
+// oracle's class on the overwhelming majority of windows. Retraining
+// quality is bounded by this agreement, so it is pinned per class, not
+// just in aggregate.
+func TestLabelerAgreesWithOracle(t *testing.T) {
+	raw, labels, _ := dataset(t)
+	if len(raw) == 0 {
+		t.Fatal("no windows collected")
+	}
+	perClassTotal := map[int]int{}
+	perClassAgree := map[int]int{}
+	for i, v := range raw {
+		perClassTotal[labels[i]]++
+		if label(v) == labels[i] {
+			perClassAgree[labels[i]]++
+		}
+	}
+	for class, total := range perClassTotal {
+		agree := perClassAgree[class]
+		frac := float64(agree) / float64(total)
+		t.Logf("class %d: %d/%d windows agree (%.0f%%)", class, agree, total, 100*frac)
+		if frac < 0.9 {
+			t.Errorf("class %d: labeler agrees on only %d/%d windows", class, agree, total)
+		}
+	}
+	if len(perClassTotal) != 4 {
+		t.Fatalf("oracle produced %d classes, want 4", len(perClassTotal))
+	}
+}

@@ -1,0 +1,705 @@
+// Package olearn closes the loop the paper frames as KML's continuous
+// lifecycle: train in user space, deploy live, watch for staleness,
+// retrain, redeploy — with the storage system's own reward signal (the
+// page-cache hit rate the dtrace outcome spans attribute to each
+// decision) guarding every deployment.
+//
+// The controller is a state machine:
+//
+//	Idle → Collecting → Retraining → Canary → Committed ─┐
+//	          ▲  ▲                      └──→ RolledBack ─┤
+//	          │  └───────────────────────────────────────┘
+//	          └── (cooldown + drift rebaseline)
+//
+//   - Collecting: the co-located tuner feeds one raw feature window per
+//     decision into a bounded keep-latest example ring (AddSample), and
+//     the controller polls the dtrace arena for outcome spans. When the
+//     DriftMonitor completes a window, its max shift / churn feed the
+//     hysteresis Trigger.
+//   - Retraining: on a trigger fire with enough buffered examples, a
+//     background goroutine labels the examples heuristically, normalizes
+//     them with the FROZEN deployed normalizer, trains a fresh network,
+//     and serializes it. The serve loop and the decision tick never
+//     block on this.
+//   - Canary: the new version is deployed through the registry's atomic
+//     deploy; the pre-deploy hit-rate baseline (mean of recent outcome
+//     windows) is frozen; the next CanaryWindows outcome spans produced
+//     BY THE NEW VERSION are averaged against it.
+//   - Committed / RolledBack: canary mean within tolerance commits the
+//     version; a regression beyond tolerance rolls back via the
+//     registry, restoring the previous version for the server and the
+//     tuner in one swap each. Either way the drift monitor rebaselines
+//     (the verdict consumed its reference population) and the machine
+//     returns to Collecting.
+//
+// Everything observable is exported: telemetry counters/gauges under
+// olearn_*, a flight recorder of retrain events, and the MsgLearnStatus
+// wire snapshot kml-served -status and kml-trace -learn render.
+package olearn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dtrace"
+	"repro/internal/features"
+	"repro/internal/mserve"
+	"repro/internal/readahead"
+	"repro/internal/telemetry"
+)
+
+// State is the controller's state-machine position. Values mirror the
+// wire constants in mserve/learnstatus.go.
+type State uint8
+
+// Controller states.
+const (
+	StateIdle       = State(mserve.LearnIdle)
+	StateCollecting = State(mserve.LearnCollecting)
+	StateRetraining = State(mserve.LearnRetraining)
+	StateCanary     = State(mserve.LearnCanary)
+	StateCommitted  = State(mserve.LearnCommitted)
+	StateRolledBack = State(mserve.LearnRolledBack)
+)
+
+// String renders a state for humans.
+func (s State) String() string { return mserve.LearnStateName(uint8(s)) }
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Server is the serving control plane the controller deploys through
+	// and whose registry it reads artifacts back from. Required.
+	Server *mserve.Server
+	// Drift is the monitor watched for retrain pressure — normally the
+	// co-located tuner's training-stats-baselined monitor. Required.
+	Drift *dtrace.DriftMonitor
+	// Arena is the trace pool outcome spans are polled from — normally
+	// the server's arena, which the tuner also records into. Required.
+	Arena *dtrace.Arena
+	// Norm is the frozen normalizer retraining standardizes examples
+	// with, exactly as the original training run did.
+	Norm features.Normalizer
+	// TunerDeploy, when set, is a co-located tuner's hot-swap handle the
+	// controller keeps in lockstep with the server: every deploy and
+	// rollback swaps a freshly instantiated classifier into it.
+	TunerDeploy *mserve.Deployment[core.Classifier]
+	// Trigger tunes the drift→retrain decision rule.
+	Trigger TriggerConfig
+	// Train tunes the background retraining run (paper defaults).
+	Train readahead.TrainConfig
+	// ModelName names deployed versions ("<ModelName>-r<N>"); "" means
+	// "olearn".
+	ModelName string
+	// Capacity sizes the example ring; 0 means 512.
+	Capacity int
+	// MinExamples is the fewest buffered examples a retrain will run
+	// with; 0 means 64.
+	MinExamples int
+	// CanaryWindows is how many new-version outcome windows the canary
+	// averages before judging; 0 means 4.
+	CanaryWindows int
+	// BaselineWindows is how many recent outcome windows form the
+	// pre-deploy baseline; 0 means 8.
+	BaselineWindows int
+	// TolerancePM rolls back when canary mean < baseline − tolerance
+	// (hit rate per-mille); 0 means 25.
+	TolerancePM int64
+	// Metrics, when set, registers olearn_* instrumentation.
+	Metrics *telemetry.Registry
+	// FlightN sizes the retrain-event flight recorder; 0 means 32.
+	FlightN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ModelName == "" {
+		c.ModelName = "olearn"
+	}
+	if c.Capacity == 0 {
+		c.Capacity = 512
+	}
+	if c.MinExamples == 0 {
+		c.MinExamples = 64
+	}
+	if c.CanaryWindows == 0 {
+		c.CanaryWindows = 4
+	}
+	if c.BaselineWindows == 0 {
+		c.BaselineWindows = 8
+	}
+	if c.TolerancePM == 0 {
+		c.TolerancePM = 25
+	}
+	if c.FlightN == 0 {
+		c.FlightN = 32
+	}
+	return c
+}
+
+// outcomeDepth is how many recent outcome windows the controller
+// retains for baseline/canary math.
+const outcomeDepth = 64
+
+// pollBatch is how many traces one arena poll copies at a time.
+const pollBatch = 16
+
+// outcomeSample is one decision's attributed outcome: the hit rate of
+// its outcome window and the model version that made the call.
+type outcomeSample struct {
+	version uint64
+	ratePM  int64
+}
+
+// retrainResult is what the background goroutine hands back to Step.
+type retrainResult struct {
+	model    []byte
+	examples int
+	dur      time.Duration
+	poisoned bool
+	err      error
+}
+
+// Controller runs the online-learning loop. AddSample is safe to call
+// concurrently with Step; both are cheap. Retraining happens on a
+// private goroutine.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	examples *exampleRing
+	scratch  []example // snapshot buffer handed to the retrain goroutine
+
+	cursor   uint64 // arena read cursor
+	traceBuf []dtrace.Trace
+
+	outcomes [outcomeDepth]outcomeSample
+	outW     uint64
+
+	lastWindows  uint64 // drift windows already fed to the trigger
+	trigger      *Trigger
+	fireShiftMZ  int64 // signal captured at the last fire
+	fireChurnPM  int64
+	pending      chan retrainResult
+	retrainSeq   uint64
+	poisonSeq    uint64 // 1-based retrain cycle to poison; 0 = none
+	prevVersion  uint64 // version serving before the canary deploy
+	canaryVer    uint64
+	baselinePM   int64
+	canarySum    int64
+	canaryN      int
+	lastOutcome  uint8 // mserve.RetrainPending.. of the last finished cycle
+	lastEventIdx int   // index of the in-flight cycle's flight entry (-1 none)
+
+	retrains  uint64
+	deploys   uint64
+	rollbacks uint64
+	commits   uint64
+	failures  uint64
+	lastVer   uint64
+
+	flight *telemetry.FlightRecorder[mserve.RetrainEvent]
+	events []mserve.RetrainEvent // authoritative history (flight mirrors it)
+
+	// Optional telemetry.
+	cRetrains, cDeploys, cRollbacks, cCommits, cFires, cFailures *telemetry.Counter
+	gState, gExamples, gBaseline, gCanary, gLastVer              *telemetry.Gauge
+	hRetrainNs                                                   *telemetry.Histogram
+
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a controller. It starts in StateIdle; the first Step moves
+// it to Collecting.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Server == nil || cfg.Drift == nil || cfg.Arena == nil {
+		return nil, errors.New("olearn: Server, Drift, and Arena are required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Controller{
+		cfg:          cfg,
+		examples:     newExampleRing(cfg.Capacity),
+		scratch:      make([]example, cfg.Capacity),
+		traceBuf:     make([]dtrace.Trace, pollBatch),
+		trigger:      NewTrigger(cfg.Trigger),
+		baselinePM:   -1,
+		lastEventIdx: -1,
+		flight:       telemetry.NewFlightRecorder[mserve.RetrainEvent](cfg.FlightN),
+	}
+	c.cursor = cfg.Arena.Cursor() // only outcomes from here on are ours
+	if reg := cfg.Metrics; reg != nil {
+		c.cRetrains = reg.Counter("olearn_retrains")
+		c.cDeploys = reg.Counter("olearn_deploys")
+		c.cRollbacks = reg.Counter("olearn_rollbacks")
+		c.cCommits = reg.Counter("olearn_commits")
+		c.cFires = reg.Counter("olearn_trigger_fires")
+		c.cFailures = reg.Counter("olearn_retrain_failures")
+		c.gState = reg.Gauge("olearn_state")
+		c.gExamples = reg.Gauge("olearn_examples")
+		c.gBaseline = reg.Gauge("olearn_baseline_pm")
+		c.gCanary = reg.Gauge("olearn_canary_pm")
+		c.gLastVer = reg.Gauge("olearn_last_version")
+		c.hRetrainNs = reg.Histogram("olearn_retrain_ns")
+		c.gBaseline.Set(-1)
+		c.gCanary.Set(-1)
+	}
+	return c, nil
+}
+
+// AddSample buffers one raw decision window — the readahead.SampleSink
+// the co-located tuner calls once per decision. Alloc-free: one ring
+// slot copy and two atomic gauge stores under the controller lock.
+//
+//kml:hotpath
+func (c *Controller) AddSample(raw features.Vector, class int, events uint64) {
+	c.mu.Lock()
+	c.examples.add(raw, class)
+	n := c.examples.len()
+	c.mu.Unlock()
+	if c.gExamples != nil {
+		c.gExamples.Set(int64(n))
+	}
+}
+
+// PoisonRetrain arranges for retrain cycle seq (1-based) to deploy a
+// deliberately mislabeled model: every buffered example is labeled as
+// random access, so the deployed network starves whatever scan is
+// actually running of readahead. This is the fault-injection hook the
+// online smoke test uses to prove the canary rolls a bad model back; it
+// has no place on any production path.
+func (c *Controller) PoisonRetrain(seq uint64) {
+	c.mu.Lock()
+	c.poisonSeq = seq
+	c.mu.Unlock()
+}
+
+// Step advances the controller: polls the arena for new outcome spans,
+// feeds completed drift windows to the trigger, launches or harvests a
+// background retrain, and judges an open canary. Call it periodically —
+// the simulation loop calls it once per decision window; Start runs it
+// on a ticker for daemon use. Step never blocks on training.
+func (c *Controller) Step() {
+	c.pollOutcomes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case StateIdle:
+		c.state = StateCollecting
+	case StateCommitted, StateRolledBack:
+		// Transient terminal states: visible for one Step, then back to
+		// collecting under the rebaselined monitor.
+		c.state = StateCollecting
+	case StateCollecting:
+		c.stepCollecting()
+	case StateRetraining:
+		c.stepRetraining()
+	case StateCanary:
+		c.stepCanary()
+	}
+	if c.gState != nil {
+		c.gState.Set(int64(c.state))
+	}
+}
+
+// pollOutcomes drains traces recorded since the last poll and extracts
+// each completed decision's outcome: the hit rate its outcome span
+// attributed (Aux, per-mille) and the model version its infer span
+// carries (Aux). Server request traces have no outcome span and are
+// skipped. The buffers are preallocated, so polling is alloc-free.
+//
+//kml:hotpath
+func (c *Controller) pollOutcomes() {
+	c.mu.Lock()
+	for {
+		n, cur := c.cfg.Arena.ReadNewer(c.cursor, c.traceBuf)
+		c.cursor = cur
+		if n == 0 {
+			c.mu.Unlock()
+			return
+		}
+		for i := 0; i < n; i++ {
+			tr := &c.traceBuf[i]
+			ratePM := int64(-1)
+			version := int64(0)
+			seen := false
+			for s := 0; s < int(tr.N); s++ {
+				switch tr.Spans[s].Stage {
+				case dtrace.StageOutcome:
+					ratePM = tr.Spans[s].Aux
+					seen = true
+				case dtrace.StageInfer:
+					version = tr.Spans[s].Aux
+				}
+			}
+			if !seen || ratePM < 0 {
+				continue // not a decision trace, or an unattributed window
+			}
+			c.outcomes[c.outW%outcomeDepth] = outcomeSample{version: uint64(version), ratePM: ratePM}
+			c.outW++
+			if c.state == StateCanary {
+				c.accountCanaryLocked(uint64(version), ratePM)
+			}
+		}
+	}
+}
+
+// accountCanaryLocked folds one outcome sample into an open canary if it
+// was produced by the canary version.
+//
+//kml:hotpath
+func (c *Controller) accountCanaryLocked(version uint64, ratePM int64) {
+	if version != c.canaryVer {
+		return
+	}
+	c.canarySum += ratePM
+	c.canaryN++
+	if c.gCanary != nil {
+		c.gCanary.Set(c.canarySum / int64(c.canaryN))
+	}
+}
+
+// baselineLocked averages the most recent BaselineWindows outcome
+// windows — the pre-deploy reward level a canary is judged against.
+// Returns -1 when no outcome has been attributed yet.
+func (c *Controller) baselineLocked() int64 {
+	n := c.outW
+	if n > uint64(c.cfg.BaselineWindows) {
+		n = uint64(c.cfg.BaselineWindows)
+	}
+	if n == 0 {
+		return -1
+	}
+	var sum int64
+	for i := uint64(0); i < n; i++ {
+		sum += c.outcomes[(c.outW-1-i)%outcomeDepth].ratePM
+	}
+	return sum / int64(n)
+}
+
+// stepCollecting feeds newly completed drift windows to the trigger and
+// launches a retrain when it fires with enough examples buffered.
+func (c *Controller) stepCollecting() {
+	r := c.cfg.Drift.Report()
+	if r.Windows == c.lastWindows || !r.BaselineReady {
+		return
+	}
+	c.lastWindows = r.Windows
+	fired := c.trigger.Observe(int64(r.MaxShift*1000), r.ChurnPM)
+	if !fired {
+		return
+	}
+	if c.cFires != nil {
+		c.cFires.Inc()
+	}
+	if c.examples.len() < c.cfg.MinExamples {
+		return // fire lapses; the trigger's cooldown applies regardless
+	}
+	c.fireShiftMZ, c.fireChurnPM = int64(r.MaxShift*1000), r.ChurnPM
+	n := c.examples.snapshot(c.scratch)
+	c.examples.reset()
+	c.retrainSeq++
+	c.retrains++
+	if c.cRetrains != nil {
+		c.cRetrains.Inc()
+	}
+	poisoned := c.poisonSeq != 0 && c.retrainSeq == c.poisonSeq
+	c.pending = make(chan retrainResult, 1)
+	c.state = StateRetraining
+	go c.retrain(c.pending, append([]example(nil), c.scratch[:n]...), c.retrainSeq, poisoned)
+}
+
+// retrain is the background training goroutine: label, normalize with
+// the frozen normalizer, fit a fresh network, serialize. It never
+// touches controller state; the result goes back through the channel
+// Step harvests.
+func (c *Controller) retrain(done chan<- retrainResult, snap []example, seq uint64, poisoned bool) {
+	start := time.Now()
+	xs := make([]features.Vector, len(snap))
+	ys := make([]int, len(snap))
+	for i, e := range snap {
+		xs[i] = c.cfg.Norm.Apply(e.raw)
+		if poisoned {
+			ys[i] = classReadRandom
+		} else {
+			ys[i] = label(e.raw)
+		}
+	}
+	cfg := c.cfg.Train
+	cfg.Seed += int64(seq) // fresh init per cycle, still deterministic
+	// TrainModel runs only full minibatches; clamp the batch so a small
+	// online snapshot still trains instead of silently fitting nothing.
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = 16
+	}
+	if batch > len(snap) {
+		cfg.Batch = len(snap)
+	}
+	net := readahead.NewModel(cfg.Seed)
+	readahead.TrainModel(net, xs, ys, cfg)
+	var buf bytes.Buffer
+	err := net.Save(&buf)
+	done <- retrainResult{
+		model:    buf.Bytes(),
+		examples: len(snap),
+		dur:      time.Since(start),
+		poisoned: poisoned,
+		err:      err,
+	}
+}
+
+// stepRetraining harvests a finished background retrain and deploys it,
+// opening the canary.
+func (c *Controller) stepRetraining() {
+	var res retrainResult
+	select {
+	case res = <-c.pending:
+	default:
+		return // still training; never block
+	}
+	if c.hRetrainNs != nil {
+		c.hRetrainNs.Observe(res.dur.Nanoseconds())
+	}
+	if res.err != nil {
+		c.failRetrainLocked(res, fmt.Errorf("serialize: %w", res.err))
+		return
+	}
+	c.prevVersion = c.cfg.Server.Deployment().Version()
+	name := fmt.Sprintf("%s-r%d", c.cfg.ModelName, c.retrainSeq)
+	v, err := c.cfg.Server.Deploy(mserve.KindNN, name, res.model)
+	if err != nil {
+		c.failRetrainLocked(res, fmt.Errorf("deploy: %w", err))
+		return
+	}
+	if err := c.syncTunerLocked(v.Number); err != nil {
+		// The server is serving the new version but the tuner cannot:
+		// roll the server back rather than split-brain the two.
+		_, _ = c.cfg.Server.Rollback()
+		c.failRetrainLocked(res, fmt.Errorf("instantiate v%d: %w", v.Number, err))
+		return
+	}
+	c.deploys++
+	c.lastVer = v.Number
+	if c.cDeploys != nil {
+		c.cDeploys.Inc()
+	}
+	if c.gLastVer != nil {
+		c.gLastVer.Set(int64(v.Number))
+	}
+	c.baselinePM = c.baselineLocked()
+	if c.gBaseline != nil {
+		c.gBaseline.Set(c.baselinePM)
+	}
+	c.canaryVer = v.Number
+	c.canarySum, c.canaryN = 0, 0
+	if c.gCanary != nil {
+		c.gCanary.Set(-1)
+	}
+	c.lastEventIdx = len(c.events)
+	c.recordEventLocked(mserve.RetrainEvent{
+		TimeNanos:     uint64(time.Now().UnixNano()),
+		Version:       v.Number,
+		DurationNanos: uint64(res.dur.Nanoseconds()),
+		Examples:      uint32(res.examples),
+		Outcome:       mserve.RetrainPending,
+		BaselinePM:    c.baselinePM,
+		CanaryPM:      -1,
+		MaxShiftMZ:    c.fireShiftMZ,
+		ChurnPM:       c.fireChurnPM,
+	})
+	c.state = StateCanary
+}
+
+// failRetrainLocked records a cycle that produced nothing deployable.
+func (c *Controller) failRetrainLocked(res retrainResult, err error) {
+	c.failures++
+	if c.cFailures != nil {
+		c.cFailures.Inc()
+	}
+	c.lastEventIdx = -1
+	c.recordEventLocked(mserve.RetrainEvent{
+		TimeNanos:     uint64(time.Now().UnixNano()),
+		DurationNanos: uint64(res.dur.Nanoseconds()),
+		Examples:      uint32(res.examples),
+		Outcome:       mserve.RetrainFailed,
+		BaselinePM:    c.baselineLocked(),
+		CanaryPM:      -1,
+		MaxShiftMZ:    c.fireShiftMZ,
+		ChurnPM:       c.fireChurnPM,
+	})
+	c.state = StateCollecting
+	_ = err // the event records the failure; callers read counters
+}
+
+// stepCanary judges a full canary window: commit within tolerance, roll
+// back beyond it.
+func (c *Controller) stepCanary() {
+	if c.canaryN < c.cfg.CanaryWindows {
+		return
+	}
+	canaryPM := c.canarySum / int64(c.canaryN)
+	regressed := c.baselinePM >= 0 && canaryPM < c.baselinePM-c.cfg.TolerancePM
+	if regressed {
+		if _, err := c.cfg.Server.Rollback(); err == nil {
+			_ = c.syncTunerLocked(c.cfg.Server.Deployment().Version())
+		}
+		c.rollbacks++
+		if c.cRollbacks != nil {
+			c.cRollbacks.Inc()
+		}
+		c.lastOutcome = mserve.RetrainRolledBack
+		c.state = StateRolledBack
+	} else {
+		c.commits++
+		if c.cCommits != nil {
+			c.cCommits.Inc()
+		}
+		c.lastOutcome = mserve.RetrainCommitted
+		c.state = StateCommitted
+	}
+	if c.lastEventIdx >= 0 && c.lastEventIdx < len(c.events) {
+		c.events[c.lastEventIdx].Outcome = c.lastOutcome
+		c.events[c.lastEventIdx].CanaryPM = canaryPM
+		c.rebuildFlightLocked()
+	}
+	c.lastEventIdx = -1
+	// The canary verdict consumed the drift baseline either way: after a
+	// commit the model embodies the new distribution; after a rollback a
+	// persistent shift must re-establish itself against fresh statistics
+	// (plus the trigger's cooldown) before firing again.
+	c.cfg.Drift.Rebaseline()
+	c.lastWindows = 0
+}
+
+// syncTunerLocked points the co-located tuner's deployment handle at
+// version v's freshly instantiated classifier.
+func (c *Controller) syncTunerLocked(v uint64) error {
+	if c.cfg.TunerDeploy == nil {
+		return nil
+	}
+	art, err := c.cfg.Server.Registry().Artifact(v)
+	if err != nil {
+		return err
+	}
+	inst, err := art.Instantiate()
+	if err != nil {
+		return err
+	}
+	c.cfg.TunerDeploy.Swap(inst, v)
+	return nil
+}
+
+// recordEventLocked appends to the authoritative history and mirrors it
+// into the flight recorder.
+func (c *Controller) recordEventLocked(e mserve.RetrainEvent) {
+	c.events = append(c.events, e)
+	if len(c.events) > mserve.MaxRetrainEvents {
+		c.events = c.events[len(c.events)-mserve.MaxRetrainEvents:]
+	}
+	c.flight.Record(e)
+}
+
+// rebuildFlightLocked re-records the history after an in-place outcome
+// update (the flight recorder has no update-in-place).
+func (c *Controller) rebuildFlightLocked() {
+	c.flight = telemetry.NewFlightRecorder[mserve.RetrainEvent](c.cfg.FlightN)
+	for _, e := range c.events {
+		c.flight.Record(e)
+	}
+}
+
+// State returns the controller's current state.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Status snapshots the controller in MsgLearnStatus form — the function
+// kml-served registers via Server.SetLearnSource.
+func (c *Controller) Status() mserve.LearnStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := mserve.LearnStatus{
+		State:        uint8(c.state),
+		Retrains:     c.retrains,
+		Deploys:      c.deploys,
+		Rollbacks:    c.rollbacks,
+		Commits:      c.commits,
+		TriggerFires: c.trigger.Fires(),
+		Examples:     uint64(c.examples.len()),
+		LastVersion:  c.lastVer,
+		BaselinePM:   c.baselinePM,
+		CanaryPM:     -1,
+	}
+	if c.canaryN > 0 {
+		st.CanaryPM = c.canarySum / int64(c.canaryN)
+	}
+	st.Events = append([]mserve.RetrainEvent(nil), c.events...)
+	return st
+}
+
+// Events returns the retained retrain history, oldest first.
+func (c *Controller) Events() []mserve.RetrainEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]mserve.RetrainEvent(nil), c.events...)
+}
+
+// Settle drives Step until the controller leaves StateRetraining (the
+// only state whose exit depends on a background goroutine), or the
+// timeout elapses. The simulation driver calls it after each decision
+// window: on the virtual clock, real milliseconds spent waiting for the
+// trainer are invisible to measured results, so the loop stays
+// deterministic while training stays off the decision path.
+func (c *Controller) Settle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.Step()
+		if c.State() != StateRetraining {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Start runs Step on a ticker until Stop — the daemon-mode driver.
+func (c *Controller) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	c.loopStop = make(chan struct{})
+	c.loopDone = make(chan struct{})
+	go func() {
+		defer close(c.loopDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.loopStop:
+				return
+			case <-t.C:
+				c.Step()
+			}
+		}
+	}()
+}
+
+// Stop halts the Start loop and waits for any in-flight retrain to be
+// harvested or abandoned (the goroutine's channel send is buffered, so
+// it always terminates).
+func (c *Controller) Stop() {
+	if c.loopStop == nil {
+		return
+	}
+	close(c.loopStop)
+	<-c.loopDone
+	c.loopStop, c.loopDone = nil, nil
+}

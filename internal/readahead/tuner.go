@@ -99,12 +99,21 @@ type Tuner struct {
 	prevRatePM int64 // previous window's hit rate (per-mille, -1 unknown)
 	drift      *dtrace.DriftMonitor
 	driftFeats []float64
+	sink       SampleSink
 }
 
 // OutcomeSampler reports cumulative cache hit/miss counters; the tuner
 // samples it at decision boundaries to attribute each decision's
 // outcome (pagecache.Cache.HitMissCounts is the canonical source).
 type OutcomeSampler func() (hits, misses uint64)
+
+// SampleSink receives one decision window's RAW (pre-normalization)
+// candidate feature vector, the predicted class, and the window's event
+// count — the training-example feed for an online-learning consumer
+// (internal/olearn buffers these and retrains on them when drift fires).
+// The sink runs inline on the decision tick, so it must be cheap and
+// must not block; the vector is passed by value and safe to retain.
+type SampleSink func(raw features.Vector, class int, events uint64)
 
 // FlightEntry is one flight-recorder record: the decision plus the
 // normalized feature vector the model saw, so an operator inspecting
@@ -302,6 +311,9 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		}
 		t.drift.Observe(t.driftFeats, class)
 	}
+	if t.sink != nil {
+		t.sink(raw, class, events)
+	}
 	if t.flight != nil {
 		if class >= 0 && class < len(t.classCount) {
 			t.classCount[class].Inc()
@@ -373,6 +385,13 @@ func (t *Tuner) EnableTracing(a *dtrace.Arena, outcome OutcomeSampler) {
 
 // TraceArena returns the arena attached by EnableTracing, or nil.
 func (t *Tuner) TraceArena() *dtrace.Arena { return t.arena }
+
+// SetSampleSink attaches a per-decision sample consumer. Call before the
+// tuner runs; a nil sink detaches.
+func (t *Tuner) SetSampleSink(fn SampleSink) { t.sink = fn }
+
+// DriftMonitor returns the monitor attached by InstrumentDrift, or nil.
+func (t *Tuner) DriftMonitor() *dtrace.DriftMonitor { return t.drift }
 
 // FlushTrace retires the in-flight decision trace without waiting for
 // the next tick, attributing whatever fraction of the outcome window

@@ -11,19 +11,13 @@
 #
 # Usage: sh scripts/bench_ratchet.sh
 #
-# Current allowlist — the PR4 -> PR5 trade documented in ROADMAP.md:
-# the fused batched-inference rewrite made rows>=16 scale (ns/sample
-# drops with batch size) at the cost of single-sample and small-batch
-# latency, and the same change pushed the float64 and Q16.16
-# single-sample paths past the 15%% line on the CI machine.
+# The allowlist is currently empty. The PR4 -> PR5 E5 regressions it
+# used to carry turned out to be recording-machine noise, not code: a
+# single-run snapshot taken on a busy machine. BENCH_PR7.json was
+# recorded best-of-3 (see bench_json.sh) and comes in at or under the
+# PR4 numbers across the board, so the E5 hot paths are gated again.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/kml-benchdiff -dir . -threshold 15 -allow \
-    "E5_Inference:ns/op,\
-E5_FixedInference:ns/op,\
-E5_InferenceBatched/rows1,\
-E5_InferenceBatched/rows16,\
-E5_InferenceBatched/rows64,\
-E5_InferenceBatched/rows256"
+exec go run ./cmd/kml-benchdiff -dir . -threshold 15
