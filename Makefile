@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke overhead-check bench-json bench-ratchet ci clean
+.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke overhead-check bench-json bench-ratchet ci clean
 
 all: build
 
@@ -40,6 +40,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzLearnStatusDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzTracesDecode -fuzztime=$(FUZZTIME) ./internal/dtrace/
+	$(GO) test -run='^$$' -fuzz=FuzzTimeSeriesDecode -fuzztime=$(FUZZTIME) ./internal/telemetry/tsrec/
 	$(GO) test -run='^$$' -fuzz=FuzzDirectiveParse -fuzztime=$(FUZZTIME) ./internal/lint/
 
 # End-to-end smoke of the serving subsystem: daemon + deploy + bench +
@@ -65,25 +66,36 @@ trace-smoke:
 online-smoke:
 	sh scripts/online_smoke.sh
 
+# End-to-end smoke of the serving console: boot kml-served -sim with a
+# fast time-series interval, assert kml-top renders throughput/latency
+# from MsgTimeSeries, the raw capture is non-empty and monotonic, and
+# kml-trace -probe joins a client-stamped trace with the server's tree.
+top-smoke:
+	sh scripts/top_smoke.sh
+
 # Regenerate the hot-path benchmark snapshot: single-sample vs batched
 # inference (float64/float32/Q16.16) and one training iteration, as
 # machine-readable JSON, best-of-BENCHCOUNT per metric. BENCHTIME and
 # BENCHCOUNT shorten runs for smoke checks.
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR7.json
+	sh scripts/bench_json.sh BENCH_PR8.json
 
 # Compare the two newest committed benchmark snapshots; fail on >15%
 # regressions that are not on the allowlist in the script.
 bench-ratchet:
 	sh scripts/bench_ratchet.sh
 
-# The telemetry overhead self-check in isolation: one counter add plus
-# one histogram observation must cost under the budget in
-# internal/telemetry/overhead_test.go, or the build fails.
+# The telemetry overhead self-checks in isolation: one counter add plus
+# one histogram observation (internal/telemetry/overhead_test.go), one
+# tracing span pair (internal/dtrace), and one full time-series capture
+# tick (internal/telemetry/tsrec) must each cost under their budgets, or
+# the build fails.
 overhead-check:
 	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
+	$(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/dtrace/
+	$(GO) test -run TestTimeSeriesOverheadBudget -count=1 -v ./internal/telemetry/tsrec/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke overhead-check vet-strict bench-ratchet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke overhead-check vet-strict bench-ratchet
 
 clean:
 	$(GO) clean ./...

@@ -29,6 +29,8 @@ import (
 	"repro/internal/nn"
 	"repro/internal/readahead"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/tsrec"
 	"repro/internal/workload"
 )
 
@@ -331,6 +333,40 @@ func BenchmarkE8_TraceSpan(b *testing.B) {
 		a.Record(tb.Finish(now + 4))
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "trace_overhead_ns")
+}
+
+// BenchmarkE10_TimeSeriesTick measures one full time-series capture
+// tick at the serving registry's shape (five counters, four populated
+// histograms): counter deltas plus three integer quantiles per
+// histogram into the keep-latest ring. This is the recorder goroutine's
+// per-interval cost — at the default 1s interval it must be invisible
+// next to the serving work, and it must not allocate. The budget is
+// pinned by tsrec.TestTimeSeriesOverheadBudget; the derived ts_tick_ns
+// metric feeds scripts/bench_json.sh.
+func BenchmarkE10_TimeSeriesTick(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	counters := []string{"c0", "c1", "c2", "c3", "c4"}
+	hists := []string{"h0", "h1", "h2", "h3"}
+	for _, n := range counters {
+		reg.Counter(n).Add(12345)
+	}
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range hists {
+		h := reg.Histogram(n)
+		for i := 0; i < 10000; i++ {
+			h.Observe(int64(rng.Intn(1 << 20)))
+		}
+	}
+	rec, err := tsrec.New(reg, tsrec.Config{Capacity: 1024, Counters: counters, Hists: hists})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Tick(int64(i + 1))
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ts_tick_ns")
 }
 
 // BenchmarkAblation_InferencePrecision compares the three matrix

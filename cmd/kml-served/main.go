@@ -45,7 +45,8 @@ func main() {
 		maxConns  = flag.Int("max-conns", 64, "concurrent connection limit")
 		reserveMB = flag.Int("reserve-mb", 0, "memory reservation for admission control (0 = unlimited)")
 		status    = flag.Bool("status", false, "query a running daemon's stats and exit")
-		debugAddr = flag.String("debug-addr", "", "optional HTTP debug listener (host:port) serving /metrics, expvar, pprof")
+		debugAddr = flag.String("debug-addr", "", "optional HTTP debug listener (host:port) serving /metrics, /traces, /learn, expvar, pprof")
+		tsEvery   = flag.Duration("ts-interval", 0, "metric time-series capture interval for MsgTimeSeries / kml-top (0 = 1s default)")
 		simN      = flag.Int("sim", 0, "run N decision windows of the simulated readahead loop against the deployed model before serving (0 = off)")
 		simWl     = flag.String("sim-workload", "readseq,readrandom", "comma-separated workload phases for -sim")
 		normFile  = flag.String("norm", "", "normalizer file for -sim (training-time stats; baselines the drift monitor)")
@@ -64,7 +65,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := mserve.Config{Registry: reg, MaxConns: *maxConns, DriftWindow: *driftWin}
+	cfg := mserve.Config{
+		Registry: reg, MaxConns: *maxConns, DriftWindow: *driftWin,
+		TimeSeriesInterval: *tsEvery,
+	}
 	if *reserveMB > 0 {
 		arena := memutil.NewArena("kml-served")
 		arena.Reserve(int64(*reserveMB) << 20)
@@ -112,7 +116,11 @@ func main() {
 		}
 		// Print the resolved address so `:0` works in scripts.
 		fmt.Printf("debug listening on http://%s\n", dln.Addr())
-		go func() { _ = http.Serve(dln, telemetry.DebugMux(srv.MetricsRegistry())) }()
+		mux := telemetry.DebugMux(srv.MetricsRegistry(),
+			telemetry.DebugEndpoint{Path: "/traces", Render: srv.WriteTraces},
+			telemetry.DebugEndpoint{Path: "/learn", Render: srv.WriteLearn},
+		)
+		go func() { _ = http.Serve(dln, mux) }()
 	}
 
 	if *network == "unix" {

@@ -1,0 +1,240 @@
+// Command kml-top is the live serving console: it polls a running
+// kml-served for its captured metric time series (MsgTimeSeries), the
+// telemetry snapshot (MsgMetrics), and the online-learning status
+// (MsgLearnStatus), and renders a compact top-style frame — throughput,
+// latency quantiles with sparklines, queueing, drift, and retrain state
+// — refreshing in place until interrupted.
+//
+// Typical use:
+//
+//	kml-top -addr /run/kml.sock                   # live console, 1s refresh
+//	kml-top -addr /run/kml.sock -once             # one frame and exit
+//	kml-top -addr /run/kml.sock -raw              # machine-readable point dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/mserve"
+)
+
+func main() {
+	var (
+		network  = flag.String("network", "unix", "server network: unix or tcp")
+		addr     = flag.String("addr", "kml-served.sock", "server address (socket path or host:port)")
+		interval = flag.Duration("interval", time.Second, "refresh period")
+		once     = flag.Bool("once", false, "render one frame and exit")
+		raw      = flag.Bool("raw", false, "dump the raw time-series points (one line per point) and exit")
+	)
+	flag.Parse()
+
+	cl, err := mserve.Dial(*network, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	if *raw {
+		if err := dumpRaw(cl); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *once {
+		if err := renderFrame(os.Stdout, cl, false); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := renderFrame(os.Stdout, cl, true); err != nil {
+			fatal(err)
+		}
+		select {
+		case <-sigs:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// dumpRaw prints the captured points as plain integers — one line per
+// point: timestamp, then every counter delta, then count/p50/p95/p99
+// per histogram. The smoke test greps this for non-empty, monotonic
+// capture.
+func dumpRaw(cl *mserve.Client) error {
+	ts, err := cl.TimeSeries()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("interval_ns %d\n", ts.IntervalNanos)
+	fmt.Printf("counters %s\n", strings.Join(ts.Counters, " "))
+	fmt.Printf("hists %s\n", strings.Join(ts.Hists, " "))
+	for i := range ts.Points {
+		p := &ts.Points[i]
+		fmt.Printf("point %d", p.TimeNanos)
+		for c := range ts.Counters {
+			fmt.Printf(" %d", p.Deltas[c])
+		}
+		for h := range ts.Hists {
+			fmt.Printf(" %d %d %d %d", p.Counts[h], p.P50[h], p.P95[h], p.P99[h])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%d points\n", len(ts.Points))
+	return nil
+}
+
+// renderFrame pulls one round of surfaces and writes the console frame.
+// With clear set it homes the cursor first (live mode).
+func renderFrame(w *os.File, cl *mserve.Client, clear bool) error {
+	ts, err := cl.TimeSeries()
+	if err != nil {
+		return err
+	}
+	snap, err := cl.Metrics()
+	if err != nil {
+		return err
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		return err
+	}
+	learn, err := cl.LearnStatus()
+	if err != nil {
+		return err
+	}
+	if clear {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+
+	fmt.Fprintf(w, "kml-top  %s  v%d  conns %d/%d  errors %d\n",
+		time.Now().Format("15:04:05"), st.ActiveVersion, st.Conns, st.MaxConns, st.Errors)
+
+	// Throughput: rows per second from the counter deltas, integer math
+	// only (delta × 1e9 / interval_ns).
+	rowsCol := tsColumn(ts.Counters, "mserve_rows")
+	if rowsCol >= 0 && ts.IntervalNanos > 0 && len(ts.Points) > 0 {
+		rates := make([]uint64, len(ts.Points))
+		for i := range ts.Points {
+			rates[i] = ts.Points[i].Deltas[rowsCol] * 1_000_000_000 / uint64(ts.IntervalNanos)
+		}
+		fmt.Fprintf(w, "throughput %8d rows/s  %s\n", rates[len(rates)-1], spark(rates))
+	} else {
+		fmt.Fprintf(w, "throughput        ? rows/s  (no time series yet)\n")
+	}
+
+	// Latency: live quantiles of the single-infer histogram, p99
+	// sparkline over the capture window; queue delay rides along.
+	for _, h := range []struct{ col, label string }{
+		{"mserve_infer_ns", "infer"},
+		{"mserve_queue_delay_ns", "queue"},
+	} {
+		hc := tsColumn(ts.Hists, h.col)
+		if hc < 0 || len(ts.Points) == 0 {
+			continue
+		}
+		last := &ts.Points[len(ts.Points)-1]
+		p99s := make([]uint64, len(ts.Points))
+		for i := range ts.Points {
+			p99s[i] = uint64(ts.Points[i].P99[hc])
+		}
+		fmt.Fprintf(w, "%-7s p50 %8s  p95 %8s  p99 %8s  %s\n",
+			h.label, fmtNS(last.P50[hc]), fmtNS(last.P95[hc]), fmtNS(last.P99[hc]), spark(p99s))
+	}
+
+	// Drift and learn lines from the gauge surface and MsgLearnStatus.
+	gauges := make(map[string]int64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		if m.Kind != mserve.MetricHistogram {
+			gauges[m.Name] = m.Value
+		}
+	}
+	for _, prefix := range []string{"mserve_drift", "readahead_drift"} {
+		if _, ok := gauges[prefix+"_windows"]; !ok {
+			continue
+		}
+		state := "ok"
+		if gauges[prefix+"_drifted"] != 0 {
+			state = "DRIFTED"
+		}
+		fmt.Fprintf(w, "drift   %-15s %-8s shift %+5dmz  churn %4dpm  windows %d\n",
+			prefix, state, gauges[prefix+"_max_shift_mz"],
+			gauges[prefix+"_churn_pm"], gauges[prefix+"_windows"])
+	}
+	fmt.Fprintf(w, "learn   state=%s retrains=%d commits=%d rollbacks=%d baseline=%dpm canary=%dpm\n",
+		mserve.LearnStateName(learn.State), learn.Retrains, learn.Commits,
+		learn.Rollbacks, learn.BaselinePM, learn.CanaryPM)
+	fmt.Fprintf(w, "series  %d points @ %s  (rows total %d, inferences %d, dropped %d)\n",
+		len(ts.Points), time.Duration(ts.IntervalNanos), st.Rows, st.Inferences, st.Dropped)
+	return nil
+}
+
+// tsColumn finds a named series column, -1 if absent.
+func tsColumn(names []string, want string) int {
+	for i, n := range names {
+		if n == want {
+			return i
+		}
+	}
+	return -1
+}
+
+// sparkRunes is the 8-level block ramp; scaling is pure integer math so
+// the console never touches floats (mirrors the recorder's own
+// float-free discipline).
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a fixed-height sparkline scaled to the window
+// maximum. All-zero input renders the floor rune for every point.
+func spark(vals []uint64) string {
+	const width = 32
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var max uint64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		idx := 0
+		if max > 0 {
+			idx = int(v * uint64(len(sparkRunes)-1) / max)
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// fmtNS renders a nanosecond quantile compactly (µs precision above
+// 10µs, ms above 10ms).
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 10_000_000:
+		return fmt.Sprintf("%dms", ns/1_000_000)
+	case ns >= 10_000:
+		return fmt.Sprintf("%dµs", ns/1_000)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -11,6 +11,8 @@
 //	kml-trace -addr /run/kml.sock -since 10s      # recent decisions only
 //	kml-trace -addr /run/kml.sock -id 42          # one trace by ID
 //	kml-trace -addr /run/kml.sock -learn          # retrain history instead of traces
+//	kml-trace -addr /run/kml.sock -probe 3        # send traced probes, render the
+//	                                              # joined client→wire→server tree
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		since   = flag.Duration("since", 0, "show only traces started within this window (0 = all)")
 		slow    = flag.Duration("slow", 0, "show only traces at least this long end to end (0 = all)")
 		learn   = flag.Bool("learn", false, "show the online-learning controller's retrain history instead of traces")
+		probe   = flag.Int("probe", 0, "send N traced probe inferences and render the joined client→server trace trees")
 	)
 	flag.Parse()
 
@@ -43,6 +46,10 @@ func main() {
 	defer cl.Close()
 	if *learn {
 		printLearn(cl)
+		return
+	}
+	if *probe > 0 {
+		runProbe(cl, *probe)
 		return
 	}
 	traces, err := cl.Traces()
@@ -83,6 +90,80 @@ func main() {
 	printBreakdown(byStage)
 	fmt.Printf("%d traces shown, %d complete (%d retained by server)\n",
 		shown, complete, len(traces))
+}
+
+// runProbe exercises cross-process trace propagation live: it enables
+// client-side tracing, sends n zero-feature probe inferences (each
+// stamping its TraceID into the request frame), pulls the server's
+// retained traces back, and renders each probe as ONE joined tree — the
+// client's encode/wire/parse spans with the server's queue→parse→infer→
+// encode subtree nested inside the wire span, matched by the identical
+// TraceID recorded on both sides of the connection.
+func runProbe(cl *mserve.Client, n int) {
+	arena := dtrace.NewArena(n)
+	cl.EnableTracing(arena)
+	ok, version, inDim, err := cl.Health()
+	if err != nil {
+		fatal(err)
+	}
+	if !ok || inDim <= 0 {
+		fatal(fmt.Errorf("no model deployed to probe (healthy=%v inDim=%d)", ok, inDim))
+	}
+	feats := make([]float64, inDim)
+	for i := 0; i < n; i++ {
+		if _, _, err := cl.Infer(feats); err != nil {
+			fatal(fmt.Errorf("probe %d: %w", i, err))
+		}
+	}
+	server, err := cl.Traces()
+	if err != nil {
+		fatal(err)
+	}
+	byID := make(map[dtrace.TraceID]*dtrace.Trace, len(server))
+	for i := range server {
+		byID[server[i].ID] = &server[i]
+	}
+
+	joined := 0
+	for _, ctr := range arena.Snapshot() {
+		root := ctr.Root()
+		srv := byID[ctr.ID]
+		tag := "client only (server did not retain the trace)"
+		if srv != nil {
+			tag = "joined client↔server, identical TraceID"
+			joined++
+		}
+		fmt.Printf("trace %d  %s  %s  v%d  %s\n",
+			ctr.ID, time.Unix(0, root.Start).Format("15:04:05.000000"),
+			fmtDur(root.Duration()), version, tag)
+		spans := ctr.Used()
+		for si := 1; si < len(spans); si++ {
+			sp := spans[si]
+			conn := "├─"
+			if si == len(spans)-1 {
+				conn = "└─"
+			}
+			fmt.Printf("  %s %-10s %8s  %s\n", conn, sp.Stage, fmtDur(sp.Duration()), spanDetail(sp))
+			if sp.Stage == dtrace.StageWire && srv != nil {
+				sroot := srv.Root()
+				fmt.Printf("  │   └─ %-10s %8s  server  %s\n",
+					"server", fmtDur(sroot.Duration()), spanDetail(*sroot))
+				sspans := srv.Used()
+				for ssi := 1; ssi < len(sspans); ssi++ {
+					sconn := "├─"
+					if ssi == len(sspans)-1 {
+						sconn = "└─"
+					}
+					fmt.Printf("  │      %s %-10s %8s  %s\n",
+						sconn, sspans[ssi].Stage, fmtDur(sspans[ssi].Duration()), spanDetail(sspans[ssi]))
+				}
+			}
+		}
+	}
+	fmt.Printf("%d probes sent, %d joined across the wire\n", n, joined)
+	if joined < n {
+		os.Exit(1)
+	}
 }
 
 // printLearn renders the MsgLearnStatus surface: the controller's live
@@ -165,6 +246,15 @@ func spanDetail(sp dtrace.Span) string {
 		return fmt.Sprintf("hit rate %dpm (%+dpm)", sp.Aux, sp.Value)
 	case dtrace.StageParse, dtrace.StageEncode:
 		return fmt.Sprintf("bytes=%d", sp.Value)
+	case dtrace.StageQueue:
+		return fmt.Sprintf("delay=%s", fmtDur(sp.Value))
+	case dtrace.StageClient:
+		if sp.Value < 0 {
+			return fmt.Sprintf("batch rows=%d", sp.Aux)
+		}
+		return fmt.Sprintf("class=%d", sp.Value)
+	case dtrace.StageWire:
+		return fmt.Sprintf("req=%dB resp=%dB", sp.Aux, sp.Value)
 	}
 	return fmt.Sprintf("v=%d aux=%d", sp.Value, sp.Aux)
 }

@@ -42,6 +42,21 @@ const (
 	StageParse
 	// StageEncode covers response encoding in the serving path.
 	StageEncode
+	// StageQueue covers the time a request spent between arriving on the
+	// wire (header read) and its handler starting — the queueing delay a
+	// batch coalescer would add, measured per request.
+	StageQueue
+	// StageClient is the root span of a CLIENT-side request trace: one
+	// whole Infer/BatchInfer call as the caller experienced it. When the
+	// client stamps its TraceID into the request frame, the server's
+	// spans join this trace and kml-trace can render the cross-process
+	// tree.
+	StageClient
+	// StageWire covers the client's request write through the response
+	// read — wire time plus everything the server did. The gap between
+	// a wire span and the joined server root span is network and
+	// scheduling overhead.
+	StageWire
 	// NumStages bounds the valid Stage values.
 	NumStages
 )
@@ -49,6 +64,7 @@ const (
 var stageNames = [NumStages]string{
 	"decision", "feature", "normalize", "infer",
 	"apply", "outcome", "parse", "encode",
+	"queue", "client", "wire",
 }
 
 // String returns the stage name.
@@ -60,9 +76,10 @@ func (s Stage) String() string {
 }
 
 // MaxTraceSpans is the fixed span capacity of a Trace. The tuner path
-// uses six (root + feature/normalize/infer/apply/outcome) and the
-// serving path four, so eight leaves headroom without bloating the
-// arena slots.
+// uses six (root + feature/normalize/infer/apply/outcome), the serving
+// path five (root + queue/parse/infer/encode) and the client path four
+// (root + encode/wire/parse), so eight leaves headroom without bloating
+// the arena slots.
 const MaxTraceSpans = 8
 
 // Span is one timed stage of a decision. Start/End are wall-clock
@@ -79,6 +96,9 @@ const MaxTraceSpans = 8
 //	           Aux=absolute next-window hit rate (per-mille, -1 unknown)
 //	parse:     Value=request payload bytes
 //	encode:    Value=response payload bytes
+//	queue:     Value=queue delay (ns, duplicates Duration for filters)
+//	client:    Value=predicted class (-1 for a batch), Aux=rows
+//	wire:      Value=response frame bytes, Aux=request frame bytes
 type Span struct {
 	Start  int64
 	End    int64
@@ -163,9 +183,18 @@ type Builder struct {
 //
 //kml:hotpath
 func (b *Builder) Start(id TraceID, startNS int64) {
+	b.StartRoot(id, StageDecision, startNS)
+}
+
+// StartRoot opens a new trace whose root span carries an explicit stage —
+// StageClient for client-side request traces, StageDecision everywhere
+// else. Any trace under construction is discarded.
+//
+//kml:hotpath
+func (b *Builder) StartRoot(id TraceID, stage Stage, startNS int64) {
 	b.t.ID = id
 	b.t.N = 1
-	b.t.Spans[0] = Span{Stage: StageDecision, Start: startNS}
+	b.t.Spans[0] = Span{Stage: stage, Start: startNS}
 }
 
 // Begin opens a child span under the span at index parent and returns

@@ -1,0 +1,78 @@
+package mserve
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// tempAcceptErr is a net.Error the accept loop must treat as transient.
+type tempAcceptErr struct{}
+
+func (tempAcceptErr) Error() string   { return "accept: resource temporarily unavailable" }
+func (tempAcceptErr) Timeout() bool   { return false }
+func (tempAcceptErr) Temporary() bool { return true }
+
+// flakyListener scripts an Accept failure sequence: tempFails temporary
+// errors, then the permanent error. It never yields a connection.
+type flakyListener struct {
+	tempFails int32
+	permanent error
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if atomic.AddInt32(&l.tempFails, -1) >= 0 {
+		return nil, tempAcceptErr{}
+	}
+	return nil, l.permanent
+}
+func (l *flakyListener) Close() error   { return nil }
+func (l *flakyListener) Addr() net.Addr { return &net.UnixAddr{Name: "flaky", Net: "unix"} }
+
+// TestServeAcceptBackoff is the regression gate for accept-loop
+// resilience: temporary Accept errors (EMFILE bursts, aborted
+// handshakes) are counted, backed off, and retried — the server must
+// not die on them — while a permanent error still ends Serve with that
+// error. Before the backoff change, one EMFILE killed the accept loop.
+func TestServeAcceptBackoff(t *testing.T) {
+	r, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatalf("open registry: %v", err)
+	}
+	s, err := NewServer(Config{Registry: r})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	defer s.Shutdown(time.Second)
+
+	boom := errors.New("listener torn down")
+	const tempFails = 3
+	start := time.Now()
+	err = s.Serve(&flakyListener{tempFails: tempFails, permanent: boom})
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, boom) {
+		t.Fatalf("Serve returned %v, want the permanent error", err)
+	}
+	// Three temporary failures back off 5+10+20 ms before the permanent
+	// error surfaces; well under the 1s cap, so an exact lower bound.
+	if want := 35 * time.Millisecond; elapsed < want {
+		t.Fatalf("Serve returned after %v, want >= %v of backoff", elapsed, want)
+	}
+	counts := make(map[string]int64)
+	for _, smp := range s.MetricsRegistry().Snapshot() {
+		if smp.Kind == telemetry.KindCounter {
+			counts[smp.Name] = smp.Value
+		}
+	}
+	if got := counts["mserve_accept_errors"]; got != tempFails+1 {
+		t.Fatalf("mserve_accept_errors = %d, want %d", got, tempFails+1)
+	}
+	if got := counts["mserve_accepted"]; got != 0 {
+		t.Fatalf("mserve_accepted = %d, want 0", got)
+	}
+}

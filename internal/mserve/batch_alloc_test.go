@@ -21,7 +21,7 @@ func TestBatchInferAllocFree(t *testing.T) {
 	for i := range flat {
 		flat[i] = rng.NormFloat64()
 	}
-	payload := AppendBatchInferReq(nil, flat, rows, nfeat)
+	payload := AppendBatchInferReq(nil, 0, flat, rows, nfeat)
 	sc := &srvConn{s: s}
 	warmTyp, _ := s.doBatchInfer(sc, payload)
 	if warmTyp != MsgBatchInfer {
@@ -36,7 +36,7 @@ func TestBatchInferAllocFree(t *testing.T) {
 	}
 	// Single-row requests over the same warmed connection stay alloc-free
 	// too (the batch path at rows=1).
-	one := AppendBatchInferReq(nil, flat[:nfeat], 1, nfeat)
+	one := AppendBatchInferReq(nil, 0, flat[:nfeat], 1, nfeat)
 	s.doBatchInfer(sc, one)
 	if a := testing.AllocsPerRun(100, func() { s.doBatchInfer(sc, one) }); a != 0 {
 		t.Errorf("rows=1 batched request allocates %.1f/run, want 0", a)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dtrace"
+	"repro/internal/telemetry/tsrec"
 )
 
 // ErrRemote wraps a MsgError response from the server; the connection
@@ -26,6 +27,16 @@ type Client struct {
 	out     []byte // encoded request frame
 	payload []byte // response payload buffer
 	classes []uint16
+
+	// Tracing state (EnableTracing). arena keeps the client's completed
+	// request traces; tb is the in-place builder; wireSpan tells do() to
+	// wrap the round trip in a StageWire span for the CURRENT traced
+	// request only (control-plane calls on the same client stay
+	// untraced); lastID is the most recent stamped TraceID.
+	arena    *dtrace.Arena
+	tb       dtrace.Builder
+	wireSpan bool
+	lastID   dtrace.TraceID
 }
 
 // Dial connects to a serving endpoint on network ("tcp", "unix").
@@ -45,6 +56,20 @@ func NewClient(c net.Conn) *Client {
 // SetTimeout bounds each request round trip; 0 disables deadlines.
 func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
 
+// EnableTracing turns on client-side request tracing: every Infer and
+// BatchInfer records a client→wire span tree into arena and stamps its
+// TraceID (with ClientTraceIDBit set) into the request frame, so the
+// server's spans join the same trace and kml-trace can render the
+// cross-process tree. nil disables. The per-request tracing cost is a
+// few clock reads and one arena copy — the propagation path stays
+// alloc-free (TestClientTracingAllocFree).
+func (cl *Client) EnableTracing(arena *dtrace.Arena) { cl.arena = arena }
+
+// LastTraceID returns the TraceID stamped into the most recent traced
+// request (0 before any), for callers matching their traces against the
+// server's MsgTraces snapshot.
+func (cl *Client) LastTraceID() dtrace.TraceID { return cl.lastID }
+
 // Close closes the connection.
 func (cl *Client) Close() error { return cl.c.Close() }
 
@@ -59,6 +84,11 @@ func (cl *Client) do(typ MsgType, payload []byte) (MsgType, []byte, error) {
 	}
 	cl.out = cl.out[:0]
 	cl.out = AppendFrame(cl.out, typ, payload)
+	ws := -1
+	if cl.wireSpan {
+		ws = cl.tb.Begin(dtrace.StageWire, 0, time.Now().UnixNano())
+		cl.tb.SetAux(ws, int64(len(cl.out)))
+	}
 	if _, err := cl.c.Write(cl.out); err != nil {
 		return 0, nil, err
 	}
@@ -76,6 +106,10 @@ func (cl *Client) do(typ MsgType, payload []byte) (MsgType, []byte, error) {
 	if err := h.CheckPayload(cl.payload); err != nil {
 		return 0, nil, err
 	}
+	if ws >= 0 {
+		cl.tb.End(ws, time.Now().UnixNano())
+		cl.tb.SetValue(ws, int64(HeaderSize+len(cl.payload)))
+	}
 	if h.Type == MsgError {
 		return h.Type, nil, fmt.Errorf("%w: %s", ErrRemote, cl.payload)
 	}
@@ -85,15 +119,60 @@ func (cl *Client) do(typ MsgType, payload []byte) (MsgType, []byte, error) {
 	return h.Type, cl.payload, nil
 }
 
+// startTrace opens the client-side request trace when tracing is on,
+// returning the TraceID to stamp into the request payload (0 when
+// untraced). The root StageClient span covers the whole call.
+func (cl *Client) startTrace() uint64 {
+	if cl.arena == nil {
+		return 0
+	}
+	id := dtrace.TraceID(uint64(cl.arena.NextID()) | ClientTraceIDBit)
+	cl.lastID = id
+	cl.tb.StartRoot(id, dtrace.StageClient, time.Now().UnixNano())
+	return uint64(id)
+}
+
+// finishTrace closes and records the client-side request trace.
+func (cl *Client) finishTrace(class, rows int64) {
+	cl.tb.SetValue(0, class)
+	cl.tb.SetAux(0, rows)
+	cl.arena.Record(cl.tb.Finish(time.Now().UnixNano()))
+}
+
 // Infer classifies one feature vector on the deployed model, returning
-// the class and the serving model version.
+// the class and the serving model version. With tracing enabled the call
+// records a client trace (root/encode/wire/parse spans) whose ID the
+// server's own spans join.
 func (cl *Client) Infer(feats []float64) (class int, version uint64, err error) {
-	cl.req = AppendInferReq(cl.req[:0], feats)
+	tid := cl.startTrace()
+	traced := tid != 0
+	es := -1
+	if traced {
+		es = cl.tb.Begin(dtrace.StageEncode, 0, time.Now().UnixNano())
+	}
+	cl.req = AppendInferReq(cl.req[:0], tid, feats)
+	if traced {
+		cl.tb.End(es, time.Now().UnixNano())
+		cl.tb.SetValue(es, int64(len(cl.req)))
+		cl.wireSpan = true
+	}
 	_, resp, err := cl.do(MsgInfer, cl.req)
+	cl.wireSpan = false
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, err // abandons the half-built trace; next Start resets
+	}
+	ps := -1
+	if traced {
+		ps = cl.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
 	}
 	c16, v, err := ParseInferResp(resp)
+	if traced {
+		cl.tb.End(ps, time.Now().UnixNano())
+		cl.tb.SetValue(ps, int64(len(resp)))
+		if err == nil {
+			cl.finishTrace(int64(c16), 1)
+		}
+	}
 	return int(c16), v, err
 }
 
@@ -104,15 +183,38 @@ func (cl *Client) BatchInfer(feats []float64, rows, nfeat int) (classes []uint16
 	if rows <= 0 || nfeat <= 0 || len(feats) < rows*nfeat {
 		return nil, 0, fmt.Errorf("%w: batch shape %dx%d over %d floats", ErrBadMessage, rows, nfeat, len(feats))
 	}
-	cl.req = AppendBatchInferReq(cl.req[:0], feats, rows, nfeat)
+	tid := cl.startTrace()
+	traced := tid != 0
+	es := -1
+	if traced {
+		es = cl.tb.Begin(dtrace.StageEncode, 0, time.Now().UnixNano())
+	}
+	cl.req = AppendBatchInferReq(cl.req[:0], tid, feats, rows, nfeat)
+	if traced {
+		cl.tb.End(es, time.Now().UnixNano())
+		cl.tb.SetValue(es, int64(len(cl.req)))
+		cl.wireSpan = true
+	}
 	_, resp, err := cl.do(MsgBatchInfer, cl.req)
+	cl.wireSpan = false
 	if err != nil {
 		return nil, 0, err
 	}
 	if rows > len(cl.classes) {
 		cl.classes = make([]uint16, rows)
 	}
+	ps := -1
+	if traced {
+		ps = cl.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
+	}
 	n, v, err := ParseBatchInferResp(resp, cl.classes)
+	if traced {
+		cl.tb.End(ps, time.Now().UnixNano())
+		cl.tb.SetValue(ps, int64(len(resp)))
+		if err == nil {
+			cl.finishTrace(-1, int64(n))
+		}
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -178,6 +280,16 @@ func (cl *Client) LearnStatus() (LearnStatus, error) {
 		return LearnStatus{}, err
 	}
 	return ParseLearnStatus(resp)
+}
+
+// TimeSeries fetches the server's captured metric time series: counter
+// deltas and histogram quantiles per capture interval, oldest first.
+func (cl *Client) TimeSeries() (tsrec.Series, error) {
+	_, resp, err := cl.do(MsgTimeSeries, nil)
+	if err != nil {
+		return tsrec.Series{}, err
+	}
+	return tsrec.ParseSeries(resp)
 }
 
 // Health reports whether the server is serving, the active version, and

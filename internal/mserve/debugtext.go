@@ -1,0 +1,65 @@
+// Plain-text renderers for the HTTP debug surface. kml-served mounts
+// these as telemetry.DebugEndpoint extras (/traces, /learn) next to
+// /metrics, so an operator with curl gets the same decision traces and
+// retrain history the wire protocol serves — no client binary needed.
+// These are operator pages, not machine formats: one line per item,
+// stable field order, nothing the serving path depends on.
+package mserve
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTraces renders the retained request traces (oldest first) as
+// plain text: one header line per trace and one indented line per
+// child span with its stage, latency, and attributes.
+func (s *Server) WriteTraces(w io.Writer) error {
+	traces := s.Traces()
+	for i := range traces {
+		tr := &traces[i]
+		root := tr.Root()
+		if _, err := fmt.Fprintf(w, "trace %d %s %s stage=%s value=%d aux=%d\n",
+			tr.ID, time.Unix(0, root.Start).UTC().Format("15:04:05.000000"),
+			time.Duration(root.Duration()), root.Stage, root.Value, root.Aux); err != nil {
+			return err
+		}
+		for si, sp := range tr.Used() {
+			if si == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "  %-10s %12s value=%d aux=%d\n",
+				sp.Stage, time.Duration(sp.Duration()), sp.Value, sp.Aux); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d traces retained\n", len(traces))
+	return err
+}
+
+// WriteLearn renders the online-learning controller's status and
+// retrain history as plain text. A server without a controller renders
+// the idle zero status.
+func (s *Server) WriteLearn(w io.Writer) error {
+	st := s.LearnStatus()
+	if _, err := fmt.Fprintf(w,
+		"state=%s retrains=%d deploys=%d commits=%d rollbacks=%d fires=%d examples=%d version=%d baseline_pm=%d canary_pm=%d\n",
+		LearnStateName(st.State), st.Retrains, st.Deploys, st.Commits, st.Rollbacks,
+		st.TriggerFires, st.Examples, st.LastVersion, st.BaselinePM, st.CanaryPM); err != nil {
+		return err
+	}
+	for _, e := range st.Events {
+		if _, err := fmt.Fprintf(w,
+			"retrain v%d %s outcome=%s examples=%d train=%s baseline_pm=%d canary_pm=%d shift_mz=%d churn_pm=%d\n",
+			e.Version, time.Unix(0, int64(e.TimeNanos)).UTC().Format("15:04:05.000"),
+			RetrainOutcomeName(e.Outcome), e.Examples,
+			time.Duration(e.DurationNanos).Round(time.Millisecond),
+			e.BaselinePM, e.CanaryPM, e.MaxShiftMZ, e.ChurnPM); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d retrain events\n", len(st.Events))
+	return err
+}

@@ -1,0 +1,82 @@
+package mserve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestDebugTextRenderers drives the /traces and /learn page renderers
+// kml-served mounts on its debug mux: after served traffic, WriteTraces
+// shows the retained request traces (queue span included) and WriteLearn
+// renders the learn status — idle zero value without a controller, live
+// counters with one.
+func TestDebugTextRenderers(t *testing.T) {
+	s, sock := startServer(t, Config{TraceCapacity: 8})
+	cl := dial(t, sock)
+
+	var sb strings.Builder
+	if err := s.WriteTraces(&sb); err != nil {
+		t.Fatalf("WriteTraces idle: %v", err)
+	}
+	if !strings.Contains(sb.String(), "0 traces retained") {
+		t.Fatalf("idle /traces page: %q", sb.String())
+	}
+
+	if _, err := cl.Deploy(KindNN, "m", nnModelBytes(t, 42, 4)); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := cl.Infer([]float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+			t.Fatalf("infer: %v", err)
+		}
+	}
+	sb.Reset()
+	if err := s.WriteTraces(&sb); err != nil {
+		t.Fatalf("WriteTraces: %v", err)
+	}
+	page := sb.String()
+	for _, want := range []string{"3 traces retained", "queue", "infer", "encode", "trace "} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("/traces page missing %q:\n%s", want, page)
+		}
+	}
+
+	sb.Reset()
+	if err := s.WriteLearn(&sb); err != nil {
+		t.Fatalf("WriteLearn detached: %v", err)
+	}
+	if !strings.Contains(sb.String(), "state=idle") ||
+		!strings.Contains(sb.String(), "0 retrain events") {
+		t.Fatalf("detached /learn page: %q", sb.String())
+	}
+
+	s.SetLearnSource(func() LearnStatus {
+		return LearnStatus{
+			State: LearnCanary, Retrains: 2, Deploys: 2, Commits: 1,
+			BaselinePM: 700, CanaryPM: 650,
+			Events: []RetrainEvent{{
+				TimeNanos: 1, Version: 9, Examples: 128,
+				Outcome: RetrainCommitted, BaselinePM: 600, CanaryPM: 700,
+			}},
+		}
+	})
+	sb.Reset()
+	if err := s.WriteLearn(&sb); err != nil {
+		t.Fatalf("WriteLearn live: %v", err)
+	}
+	page = sb.String()
+	for _, want := range []string{"state=canary", "retrains=2", "retrain v9", "committed", "1 retrain events"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("/learn page missing %q:\n%s", want, page)
+		}
+	}
+
+	// The pages are also reachable through the telemetry mux the daemon
+	// builds — same renderers, no divergence possible.
+	_ = telemetry.DebugMux(s.MetricsRegistry(),
+		telemetry.DebugEndpoint{Path: "/traces", Render: s.WriteTraces},
+		telemetry.DebugEndpoint{Path: "/learn", Render: s.WriteLearn},
+	)
+}

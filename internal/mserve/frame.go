@@ -23,8 +23,10 @@ import (
 const (
 	// FrameVersion is the wire-protocol version carried in every header.
 	// A peer speaking a different version is rejected with ErrVersionSkew
-	// rather than misparsed.
-	FrameVersion = 1
+	// rather than misparsed. Version 2 added the u64 trace-ID prefix to
+	// the MsgInfer/MsgBatchInfer request payloads (cross-process trace
+	// propagation) and the MsgTimeSeries message.
+	FrameVersion = 2
 	// HeaderSize is the fixed frame-header length in bytes.
 	HeaderSize = 12
 	// MaxPayload bounds one frame's payload. It must admit a Deploy frame

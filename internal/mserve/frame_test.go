@@ -68,16 +68,30 @@ func TestFrameDecodeRejectsHostileInput(t *testing.T) {
 func TestProtocolRoundTrips(t *testing.T) {
 	feats := []float64{0.25, -1, 3.5, 42}
 
-	p := AppendInferReq(nil, feats)
+	p := AppendInferReq(nil, 0, feats)
 	dst := make([]float64, 8)
-	n, err := ParseInferReq(p, dst)
-	if err != nil || n != 4 {
-		t.Fatalf("infer req: n=%d err=%v", n, err)
+	n, tid, err := ParseInferReq(p, dst)
+	if err != nil || n != 4 || tid != 0 {
+		t.Fatalf("infer req: n=%d tid=%d err=%v", n, tid, err)
 	}
 	for i, f := range feats {
 		if dst[i] != f {
 			t.Fatalf("feat %d = %v", i, dst[i])
 		}
+	}
+
+	// A client-stamped trace ID survives the round trip and is readable
+	// by the cheap prefix peek the server uses before full parsing.
+	const wantID = ClientTraceIDBit | 42
+	p = AppendInferReq(nil, wantID, feats)
+	if got := PeekTraceID(p); got != wantID {
+		t.Fatalf("PeekTraceID = %#x, want %#x", got, wantID)
+	}
+	if _, tid, err = ParseInferReq(p, dst); err != nil || tid != wantID {
+		t.Fatalf("traced infer req: tid=%#x err=%v", tid, err)
+	}
+	if PeekTraceID(p[:7]) != 0 {
+		t.Fatal("short payload must peek as untraced")
 	}
 
 	p = AppendInferResp(nil, 3, 17)
@@ -87,11 +101,14 @@ func TestProtocolRoundTrips(t *testing.T) {
 	}
 
 	flat := []float64{1, 2, 3, 4, 5, 6}
-	p = AppendBatchInferReq(nil, flat, 2, 3)
+	p = AppendBatchInferReq(nil, wantID, flat, 2, 3)
+	if got := PeekTraceID(p); got != wantID {
+		t.Fatalf("batch PeekTraceID = %#x, want %#x", got, wantID)
+	}
 	bdst := make([]float64, 6)
-	rows, nfeat, err := ParseBatchInferReq(p, bdst)
-	if err != nil || rows != 2 || nfeat != 3 {
-		t.Fatalf("batch req: %d %d %v", rows, nfeat, err)
+	rows, nfeat, btid, err := ParseBatchInferReq(p, bdst)
+	if err != nil || rows != 2 || nfeat != 3 || btid != wantID {
+		t.Fatalf("batch req: %d %d tid=%#x %v", rows, nfeat, btid, err)
 	}
 
 	classes := []uint16{0, 3, 2}
@@ -127,19 +144,20 @@ func TestProtocolRoundTrips(t *testing.T) {
 
 func TestParseReqBounds(t *testing.T) {
 	dst := make([]float64, 4)
-	if _, err := ParseInferReq(nil, dst); !errors.Is(err, ErrBadMessage) {
+	if _, _, err := ParseInferReq(nil, dst); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("nil infer req: %v", err)
 	}
-	// Declared count larger than payload.
-	p := AppendInferReq(nil, []float64{1, 2, 3, 4})
-	binary.LittleEndian.PutUint16(p, 100)
-	if _, err := ParseInferReq(p, dst); !errors.Is(err, ErrBadMessage) {
+	// Declared count larger than payload. The feature count sits after
+	// the u64 trace-id prefix.
+	p := AppendInferReq(nil, 0, []float64{1, 2, 3, 4})
+	binary.LittleEndian.PutUint16(p[8:], 100)
+	if _, _, err := ParseInferReq(p, dst); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("lying infer count: %v", err)
 	}
 	// Batch rows above the protocol bound.
-	b := AppendBatchInferReq(nil, []float64{1, 2}, 1, 2)
-	binary.LittleEndian.PutUint32(b, MaxBatchRows+1)
-	if _, _, err := ParseBatchInferReq(b, dst); !errors.Is(err, ErrBadMessage) {
+	b := AppendBatchInferReq(nil, 0, []float64{1, 2}, 1, 2)
+	binary.LittleEndian.PutUint32(b[8:], MaxBatchRows+1)
+	if _, _, _, err := ParseBatchInferReq(b, dst); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("oversized batch rows: %v", err)
 	}
 }

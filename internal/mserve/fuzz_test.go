@@ -78,8 +78,9 @@ func FuzzFrameDecode(f *testing.F) {
 		// so a lying header must error instead of indexing out of range.
 		var feats [64]float64
 		var classes [64]uint16
-		_, _ = ParseInferReq(b, feats[:])
-		_, _, _ = ParseBatchInferReq(b, feats[:])
+		_ = PeekTraceID(b)
+		_, _, _ = ParseInferReq(b, feats[:])
+		_, _, _, _ = ParseBatchInferReq(b, feats[:])
 		_, _, _ = ParseInferResp(b)
 		_, _, _ = ParseBatchInferResp(b, classes[:])
 		_, _, _, _ = ParseDeployReq(b)
@@ -161,7 +162,7 @@ func FuzzLearnStatusDecode(f *testing.F) {
 				BaselinePM: -1, CanaryPM: -1},
 		},
 	}))
-	f.Add([]byte{6})                                  // out-of-range state
+	f.Add([]byte{6})                                        // out-of-range state
 	f.Add(append(AppendLearnStatus(nil, LearnStatus{}), 1)) // trailing byte
 	lying := AppendLearnStatus(nil, LearnStatus{})
 	lying[len(lying)-2] = 0xFF // event count with no event bytes

@@ -19,10 +19,13 @@ type MsgType uint8
 
 // Protocol messages.
 const (
-	// MsgInfer: request u16 nfeat | nfeat×f64; response u16 class | u64 version.
+	// MsgInfer: request u64 traceid | u16 nfeat | nfeat×f64;
+	// response u16 class | u64 version. traceid 0 means the caller is
+	// not tracing; a nonzero ID joins the server's request spans to the
+	// client's trace (cross-process propagation).
 	MsgInfer MsgType = 1
-	// MsgBatchInfer: request u32 rows | u16 nfeat | rows·nfeat×f64;
-	// response u32 rows | u64 version | rows×u16 class.
+	// MsgBatchInfer: request u64 traceid | u32 rows | u16 nfeat |
+	// rows·nfeat×f64; response u32 rows | u64 version | rows×u16 class.
 	MsgBatchInfer MsgType = 2
 	// MsgDeploy: request u8 kind | u16 len | name | model bytes;
 	// response u64 version.
@@ -45,9 +48,21 @@ const (
 	// controller's snapshot (see AppendLearnStatus in learnstatus.go for
 	// the layout). A server with no controller answers the zero status.
 	MsgLearnStatus MsgType = 9
+	// MsgTimeSeries: empty request; response is the server's captured
+	// metric time series in tsrec's canonical wire format (see
+	// tsrec.AppendSeries for the layout). A server with no recorder
+	// answers the empty series.
+	MsgTimeSeries MsgType = 10
 	// MsgError: server→client only; payload is a UTF-8 message.
 	MsgError MsgType = 0x7F
 )
+
+// ClientTraceIDBit is OR-ed into every TraceID a client stamps into an
+// inference request, so client-minted IDs (which count up from 1, just
+// like the server arena's own mint) can never collide with the IDs the
+// server assigns to untraced requests. One ID namespace per direction;
+// kml-trace matches joined traces on exact equality.
+const ClientTraceIDBit uint64 = 1 << 63
 
 // ErrBadMessage reports a payload that does not decode as its declared
 // message type.
@@ -59,8 +74,11 @@ const MaxBatchRows = 8192
 
 // --- Infer ---
 
-// AppendInferReq appends a single-inference request payload.
-func AppendInferReq(dst []byte, feats []float64) []byte {
+// AppendInferReq appends a single-inference request payload. traceID 0
+// means "not tracing"; a client propagating its dtrace TraceID stamps it
+// here (with ClientTraceIDBit set) so the server joins its spans.
+func AppendInferReq(dst []byte, traceID uint64, feats []float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(feats)))
 	for _, f := range feats {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
@@ -69,23 +87,39 @@ func AppendInferReq(dst []byte, feats []float64) []byte {
 }
 
 // ParseInferReq decodes a single-inference request into dst and returns
-// the feature count. It runs once per request on the serving path: the
-// caller owns dst and grows it on ErrBadMessage when n exceeds cap (a
-// cold path — connections converge on the deployed model's width).
+// the feature count and the caller's trace ID (0 if untraced). It runs
+// once per request on the serving path: the caller owns dst and grows it
+// on ErrBadMessage when n exceeds cap (a cold path — connections
+// converge on the deployed model's width).
 //
 //kml:hotpath
-func ParseInferReq(p []byte, dst []float64) (int, error) {
-	if len(p) < 2 {
-		return 0, ErrBadMessage
+func ParseInferReq(p []byte, dst []float64) (int, uint64, error) {
+	if len(p) < 10 {
+		return 0, 0, ErrBadMessage
 	}
-	n := int(binary.LittleEndian.Uint16(p))
-	if n == 0 || len(p) != 2+8*n || n > len(dst) {
-		return 0, ErrBadMessage
+	traceID := binary.LittleEndian.Uint64(p)
+	n := int(binary.LittleEndian.Uint16(p[8:]))
+	if n == 0 || len(p) != 10+8*n || n > len(dst) {
+		return 0, 0, ErrBadMessage
 	}
 	for i := 0; i < n; i++ {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[2+8*i:]))
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[10+8*i:]))
 	}
-	return n, nil
+	return n, traceID, nil
+}
+
+// PeekTraceID reads the trace-ID prefix shared by the MsgInfer and
+// MsgBatchInfer request payloads without decoding the rest, so the
+// server can open the request trace under the caller's ID before the
+// parse span starts. A payload too short to carry one reads as 0
+// (untraced); full validation still happens in the Parse functions.
+//
+//kml:hotpath
+func PeekTraceID(p []byte) uint64 {
+	if len(p) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
 }
 
 // AppendInferResp appends a single-inference response payload.
@@ -107,8 +141,10 @@ func ParseInferResp(p []byte) (class uint16, version uint64, err error) {
 // --- BatchInfer ---
 
 // AppendBatchInferReq appends a batched-inference request: rows vectors of
-// nfeat features, flattened row-major in feats.
-func AppendBatchInferReq(dst []byte, feats []float64, rows, nfeat int) []byte {
+// nfeat features, flattened row-major in feats. traceID follows the same
+// propagation contract as AppendInferReq.
+func AppendBatchInferReq(dst []byte, traceID uint64, feats []float64, rows, nfeat int) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, traceID)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(nfeat))
 	for _, f := range feats[:rows*nfeat] {
@@ -118,27 +154,28 @@ func AppendBatchInferReq(dst []byte, feats []float64, rows, nfeat int) []byte {
 }
 
 // ParseBatchInferReq decodes a batched request into dst (row-major) and
-// returns (rows, nfeat). Like ParseInferReq, dst is caller-owned and grown
-// off the hot path on ErrBadMessage.
+// returns (rows, nfeat, traceID). Like ParseInferReq, dst is caller-owned
+// and grown off the hot path on ErrBadMessage.
 //
 //kml:hotpath
-func ParseBatchInferReq(p []byte, dst []float64) (rows, nfeat int, err error) {
-	if len(p) < 6 {
-		return 0, 0, ErrBadMessage
+func ParseBatchInferReq(p []byte, dst []float64) (rows, nfeat int, traceID uint64, err error) {
+	if len(p) < 14 {
+		return 0, 0, 0, ErrBadMessage
 	}
-	rows = int(binary.LittleEndian.Uint32(p))
-	nfeat = int(binary.LittleEndian.Uint16(p[4:]))
+	traceID = binary.LittleEndian.Uint64(p)
+	rows = int(binary.LittleEndian.Uint32(p[8:]))
+	nfeat = int(binary.LittleEndian.Uint16(p[12:]))
 	if rows == 0 || nfeat == 0 || rows > MaxBatchRows {
-		return 0, 0, ErrBadMessage
+		return 0, 0, 0, ErrBadMessage
 	}
 	total := rows * nfeat
-	if len(p) != 6+8*total || total > len(dst) {
-		return 0, 0, ErrBadMessage
+	if len(p) != 14+8*total || total > len(dst) {
+		return 0, 0, 0, ErrBadMessage
 	}
 	for i := 0; i < total; i++ {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[6+8*i:]))
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[14+8*i:]))
 	}
-	return rows, nfeat, nil
+	return rows, nfeat, traceID, nil
 }
 
 // AppendBatchInferResp appends a batched response for classes[:rows].

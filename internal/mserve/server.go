@@ -21,6 +21,7 @@ import (
 	"repro/internal/dtrace"
 	"repro/internal/memutil"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/tsrec"
 )
 
 // Sample is one served request recorded into the server's collection
@@ -60,6 +61,12 @@ type Config struct {
 	// DriftWindow is decisions per drift evaluation window; 0 means
 	// dtrace.DefaultDriftWindow.
 	DriftWindow int
+	// TimeSeriesInterval is the capture period of the server's metric
+	// time-series recorder (MsgTimeSeries); 0 means 1s.
+	TimeSeriesInterval time.Duration
+	// TimeSeriesCapacity is how many points the recorder retains; 0
+	// means 256.
+	TimeSeriesCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,16 +110,26 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	connPool sync.Pool // *srvConn, recycled across connections
 
-	open         atomic.Int64
-	inferences   atomic.Uint64
-	rows         atomic.Uint64
-	errorsSent   atomic.Uint64
-	connRejects  atomic.Uint64
-	arenaRejects atomic.Uint64
+	open atomic.Int64
 
-	reg      *telemetry.Registry
-	reqNanos [10]*telemetry.Histogram // indexed by request MsgType
-	flight   *telemetry.FlightRecorder[MetricsDecision]
+	// Attribution counters live in the registry (not private atomics) so
+	// the time-series recorder and /metrics see the same values Stats
+	// reports — one source of truth per number.
+	inferences   *telemetry.Counter // mserve_inferences
+	rows         *telemetry.Counter // mserve_rows
+	errorsSent   *telemetry.Counter // mserve_errors
+	accepted     *telemetry.Counter // mserve_accepted
+	acceptErrors *telemetry.Counter // mserve_accept_errors
+	connRejects  *telemetry.Counter // mserve_conn_rejects
+	arenaRejects *telemetry.Counter // mserve_arena_rejects
+
+	reg        *telemetry.Registry
+	reqNanos   [numMsgTypes]*telemetry.Histogram // per-type latency, by request MsgType
+	rxBytes    [numMsgTypes]*telemetry.Counter   // per-type request bytes (frames incl. header)
+	txBytes    [numMsgTypes]*telemetry.Counter   // per-type response bytes
+	queueNanos *telemetry.Histogram              // arrival→handler-start delay
+	rec        *tsrec.Recorder                   // metric time-series capture (MsgTimeSeries)
+	flight     *telemetry.FlightRecorder[MetricsDecision]
 
 	// learnSource, when set, snapshots the online-learning controller
 	// for MsgLearnStatus; the controller lives outside mserve
@@ -127,18 +144,24 @@ type Server struct {
 	drift  atomic.Pointer[dtrace.DriftMonitor]
 }
 
-// reqHistNames maps request MsgTypes to their latency-histogram names.
-// Index 0 and MsgError have no histogram; the dispatch timer skips them.
-var reqHistNames = [10]string{
-	MsgInfer:       "mserve_infer_ns",
-	MsgBatchInfer:  "mserve_batch_infer_ns",
-	MsgDeploy:      "mserve_deploy_ns",
-	MsgRollback:    "mserve_rollback_ns",
-	MsgStats:       "mserve_stats_ns",
-	MsgHealth:      "mserve_health_ns",
-	MsgMetrics:     "mserve_metrics_ns",
-	MsgTraces:      "mserve_traces_ns",
-	MsgLearnStatus: "mserve_learn_ns",
+// numMsgTypes sizes the per-request-type metric tables.
+const numMsgTypes = int(MsgTimeSeries) + 1
+
+// reqMetricNames maps request MsgTypes to their per-type metric base
+// names: "<base>_ns" is the latency histogram, "<base>_rx_bytes" /
+// "<base>_tx_bytes" the byte counters. Index 0 and MsgError have no
+// entry; the dispatch accounting skips them.
+var reqMetricNames = [numMsgTypes]string{
+	MsgInfer:       "mserve_infer",
+	MsgBatchInfer:  "mserve_batch_infer",
+	MsgDeploy:      "mserve_deploy",
+	MsgRollback:    "mserve_rollback",
+	MsgStats:       "mserve_stats",
+	MsgHealth:      "mserve_health",
+	MsgMetrics:     "mserve_metrics",
+	MsgTraces:      "mserve_traces",
+	MsgLearnStatus: "mserve_learn",
+	MsgTimeSeries:  "mserve_timeseries",
 }
 
 // flightDepth is how many served decisions the flight recorder retains.
@@ -161,11 +184,42 @@ func NewServer(cfg Config) (*Server, error) {
 		flight: telemetry.NewFlightRecorder[MetricsDecision](flightDepth),
 		traces: dtrace.NewArena(cfg.TraceCapacity),
 	}
-	for typ, name := range reqHistNames {
+	for typ, name := range reqMetricNames {
 		if name != "" {
-			s.reqNanos[typ] = s.reg.Histogram(name)
+			s.reqNanos[typ] = s.reg.Histogram(name + "_ns")
+			s.rxBytes[typ] = s.reg.Counter(name + "_rx_bytes")
+			s.txBytes[typ] = s.reg.Counter(name + "_tx_bytes")
 		}
 	}
+	s.queueNanos = s.reg.Histogram("mserve_queue_delay_ns")
+	s.inferences = s.reg.Counter("mserve_inferences")
+	s.rows = s.reg.Counter("mserve_rows")
+	s.errorsSent = s.reg.Counter("mserve_errors")
+	s.accepted = s.reg.Counter("mserve_accepted")
+	s.acceptErrors = s.reg.Counter("mserve_accept_errors")
+	s.connRejects = s.reg.Counter("mserve_conn_rejects")
+	s.arenaRejects = s.reg.Counter("mserve_arena_rejects")
+	// The time-series recorder watches the serving registry. The
+	// readahead_* names belong to a co-located tuner (kml-served -sim)
+	// instrumenting into MetricsRegistry(); resolving them here merely
+	// pre-creates the series the tuner will feed — creation-on-first-use
+	// makes the order irrelevant.
+	rec, err := tsrec.New(s.reg, tsrec.Config{
+		Interval: cfg.TimeSeriesInterval,
+		Capacity: cfg.TimeSeriesCapacity,
+		Counters: []string{
+			"mserve_rows", "mserve_inferences", "mserve_errors",
+			"mserve_accepted", "mserve_accept_errors", "readahead_decisions",
+		},
+		Hists: []string{
+			"mserve_infer_ns", "mserve_batch_infer_ns",
+			"mserve_queue_delay_ns", "readahead_infer_ns",
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.rec = rec
 	p, err := core.NewPipeline[Sample](
 		core.Config{
 			BufferCapacity: cfg.CollectCapacity,
@@ -199,17 +253,16 @@ func NewServer(cfg Config) (*Server, error) {
 	p.RegisterMetrics(s.reg, "mserve_pipeline")
 	s.reg.Func("mserve_active_version", func() int64 { return int64(s.dep.Version()) })
 	s.reg.Func("mserve_conns", func() int64 { return s.open.Load() })
-	s.reg.Func("mserve_inferences", func() int64 { return int64(s.inferences.Load()) })
-	s.reg.Func("mserve_rows", func() int64 { return int64(s.rows.Load()) })
-	s.reg.Func("mserve_errors", func() int64 { return int64(s.errorsSent.Load()) })
 	p.SetMode(core.ModeTraining)
 	if err := p.Start(); err != nil {
 		return nil, err
 	}
 	s.pipeline = p
+	s.rec.Start()
 	if _, ok := cfg.Registry.Active(); ok {
 		a, err := cfg.Registry.ActiveArtifact()
 		if err != nil {
+			s.rec.Stop()
 			p.Stop()
 			return nil, err
 		}
@@ -401,21 +454,53 @@ func (s *Server) ListenAndServe(network, addr string) error {
 	return s.Serve(ln)
 }
 
+// acceptBackoff bounds the retry delay after a temporary Accept error
+// (EMFILE, ECONNABORTED bursts): start small, double, cap — the accept
+// loop must survive fd exhaustion rather than take the whole server
+// down, and the counter makes the episode visible in telemetry.
+const (
+	acceptBackoffMin = 5 * time.Millisecond
+	acceptBackoffMax = 1 * time.Second
+)
+
 // Serve accepts connections on ln until the listener is closed (by
 // Shutdown). It applies the connection limit and arena admission before
-// spawning a handler.
+// spawning a handler. Accept errors are counted in mserve_accept_errors;
+// temporary ones (in the net.Error sense) back off and retry, permanent
+// ones end the loop.
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
 	s.lnMu.Unlock()
+	// A Shutdown that ran before the registration above had no listener
+	// to close — without this check Serve would park in Accept forever
+	// on a listener nobody will ever close again.
+	if s.draining.Load() {
+		_ = ln.Close()
+		return nil
+	}
+	delay := time.Duration(0)
 	for {
 		c, err := ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
 				return nil
 			}
+			s.acceptErrors.Add(1)
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck // Temporary is exactly the transient-accept signal this loop needs
+				if delay == 0 {
+					delay = acceptBackoffMin
+				} else if delay *= 2; delay > acceptBackoffMax {
+					delay = acceptBackoffMax
+				}
+				time.Sleep(delay)
+				continue
+			}
 			return err
 		}
+		delay = 0
+		s.accepted.Add(1)
 		if s.draining.Load() {
 			_ = c.Close()
 			continue
@@ -482,6 +567,7 @@ func (s *Server) Shutdown(timeout time.Duration) {
 		s.connsMu.Unlock()
 		<-done
 	}
+	s.rec.Stop()
 	s.pipeline.Stop()
 }
 
@@ -499,6 +585,8 @@ type srvConn struct {
 	rowClasses []int
 	inst       *Instance
 	tb         dtrace.Builder // per-connection span builder (alloc-free)
+	arrivalNS  int64          // current request's header-read stamp
+	dispatchNS int64          // current request's handler-start stamp
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -530,6 +618,10 @@ func (s *Server) handle(c net.Conn) {
 		if _, err := io.ReadFull(c, sc.hdr[:]); err != nil {
 			return // EOF, idle timeout, or drain nudge
 		}
+		// Arrival is stamped at header read: everything between here and
+		// dispatch (payload read, CRC, scheduling — and one day a batch
+		// coalescer's gather window) is attributed queueing delay.
+		sc.arrivalNS = time.Now().UnixNano()
 		h, err := ParseHeader(sc.hdr[:])
 		if err != nil {
 			return // framing broken: the stream cannot be re-synced
@@ -542,12 +634,21 @@ func (s *Server) handle(c net.Conn) {
 			return
 		}
 		start := time.Now()
+		sc.dispatchNS = start.UnixNano()
+		s.queueNanos.Observe(sc.dispatchNS - sc.arrivalNS)
+		known := int(h.Type) < numMsgTypes && s.reqNanos[h.Type] != nil
+		if known {
+			s.rxBytes[h.Type].Add(uint64(HeaderSize + len(sc.payload)))
+		}
 		typ, resp := s.dispatch(sc, h.Type, sc.payload)
-		if i := int(h.Type); i < len(s.reqNanos) && s.reqNanos[i] != nil {
-			s.reqNanos[i].Observe(time.Since(start).Nanoseconds())
+		if known {
+			s.reqNanos[h.Type].Observe(time.Since(start).Nanoseconds())
 		}
 		sc.out = sc.out[:0]
 		sc.out = AppendFrame(sc.out, typ, resp)
+		if known {
+			s.txBytes[h.Type].Add(uint64(len(sc.out)))
+		}
 		_ = c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 		if _, err := c.Write(sc.out); err != nil {
 			return
@@ -593,6 +694,9 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 	case MsgLearnStatus:
 		sc.resp = AppendLearnStatus(sc.resp[:0], s.LearnStatus())
 		return MsgLearnStatus, sc.resp
+	case MsgTimeSeries:
+		sc.resp = tsrec.AppendSeries(sc.resp[:0], s.TimeSeries())
+		return MsgTimeSeries, sc.resp
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {
@@ -606,6 +710,34 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 		return s.errorResp(sc, fmt.Sprintf("unknown message type %d", typ))
 	}
 }
+
+// startRequestTrace opens the per-request trace: the root span starts at
+// the request's ARRIVAL (header read), and a queue span covers
+// arrival→dispatch so the trace itself shows what the
+// mserve_queue_delay_ns histogram aggregates. When the request payload
+// carries a client-stamped TraceID (PeekTraceID ≠ 0), the server records
+// its spans under that ID — the cross-process join kml-trace renders;
+// otherwise a local ID is minted. Alloc-free, like the rest of the
+// request path.
+func (sc *srvConn) startRequestTrace(s *Server, p []byte) {
+	id := dtrace.TraceID(PeekTraceID(p))
+	if id == 0 {
+		id = s.traces.NextID()
+	}
+	sc.tb.Start(id, sc.arrivalNS)
+	qs := sc.tb.Begin(dtrace.StageQueue, 0, sc.arrivalNS)
+	sc.tb.End(qs, sc.dispatchNS)
+	sc.tb.SetValue(qs, sc.dispatchNS-sc.arrivalNS)
+}
+
+// TimeSeries snapshots the server's captured metric time series — the
+// throughput/latency/queue record MsgTimeSeries serves and kml-top
+// renders.
+func (s *Server) TimeSeries() tsrec.Series { return s.rec.Series() }
+
+// TimeSeriesRecorder exposes the recorder so an embedding process can
+// tick it manually in tests or force a capture before shutdown.
+func (s *Server) TimeSeriesRecorder() *tsrec.Recorder { return s.rec }
 
 // instance returns sc's private model instance for the current snapshot,
 // re-instantiating only when the deployed version changed — the cold half
@@ -633,14 +765,17 @@ func (s *Server) doInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if len(sc.feats) < inst.InDim() {
 		sc.feats = make([]float64, inst.InDim())
 	}
-	// Per-request trace: parse → infer → encode under one root span. The
-	// builder is per-connection scratch; an error return abandons the
-	// half-built trace (the next Start resets it), so only successful
-	// requests reach the arena. All of this is alloc-free — the batch
-	// alloc gate (TestBatchInferAllocFree) pins that.
-	sc.tb.Start(s.traces.NextID(), time.Now().UnixNano())
+	// Per-request trace: queue → parse → infer → encode under one root
+	// span. The builder is per-connection scratch; an error return
+	// abandons the half-built trace (the next Start resets it), so only
+	// successful requests reach the arena. All of this is alloc-free —
+	// the batch alloc gate (TestBatchInferAllocFree) pins that. A caller
+	// that stamped its TraceID into the payload owns the trace: the
+	// server's spans record under that ID (cross-process join), while
+	// untraced requests get a locally minted one.
+	sc.startRequestTrace(s, p)
 	ps := sc.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
-	n, err := ParseInferReq(p, sc.feats)
+	n, _, err := ParseInferReq(p, sc.feats)
 	sc.tb.End(ps, time.Now().UnixNano())
 	sc.tb.SetValue(ps, int64(len(p)))
 	if err != nil {
@@ -684,9 +819,9 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if need := batchFloats(p, inst.InDim()); need > len(sc.feats) {
 		sc.feats = make([]float64, need)
 	}
-	sc.tb.Start(s.traces.NextID(), time.Now().UnixNano())
+	sc.startRequestTrace(s, p)
 	ps := sc.tb.Begin(dtrace.StageParse, 0, time.Now().UnixNano())
-	rows, nfeat, err := ParseBatchInferReq(p, sc.feats)
+	rows, nfeat, _, err := ParseBatchInferReq(p, sc.feats)
 	sc.tb.End(ps, time.Now().UnixNano())
 	sc.tb.SetValue(ps, int64(len(p)))
 	if err != nil {
@@ -729,10 +864,11 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 // protocol bounds, so a lying header cannot size an allocation beyond
 // MaxBatchRows vectors of the deployed model's width.
 func batchFloats(p []byte, inDim int) int {
-	if len(p) < 6 {
+	if len(p) < 14 {
 		return 0
 	}
-	rows := int(uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24)
+	// Rows sit after the u64 trace-id prefix (see AppendBatchInferReq).
+	rows := int(uint32(p[8]) | uint32(p[9])<<8 | uint32(p[10])<<16 | uint32(p[11])<<24)
 	if rows > MaxBatchRows {
 		rows = MaxBatchRows
 	}

@@ -48,7 +48,8 @@ func TestServerTracesEndToEnd(t *testing.T) {
 		t.Fatalf("retained %d traces, want %d", len(traces), singles+1)
 	}
 	wantStages := []dtrace.Stage{
-		dtrace.StageDecision, dtrace.StageParse, dtrace.StageInfer, dtrace.StageEncode,
+		dtrace.StageDecision, dtrace.StageQueue,
+		dtrace.StageParse, dtrace.StageInfer, dtrace.StageEncode,
 	}
 	var lastID dtrace.TraceID
 	for ti := range traces {
@@ -71,7 +72,7 @@ func TestServerTracesEndToEnd(t *testing.T) {
 				t.Fatalf("trace %d span %d parent %d, want root", ti, si, sp.Parent)
 			}
 		}
-		root, infer := tr.Root(), tr.Spans[2]
+		root, infer := tr.Root(), tr.Spans[3]
 		if ti < singles {
 			// Single infer: root Aux = 1 row, infer class echoed in both.
 			if root.Aux != 1 || root.Value != infer.Value || root.Value < 0 || root.Value > 3 {
@@ -83,8 +84,11 @@ func TestServerTracesEndToEnd(t *testing.T) {
 				t.Fatalf("trace %d batch attrs: root=%+v infer=%+v", ti, root, infer)
 			}
 		}
-		if tr.Spans[1].Value == 0 || tr.Spans[3].Value == 0 {
+		if tr.Spans[2].Value == 0 || tr.Spans[4].Value == 0 {
 			t.Fatalf("trace %d parse/encode byte counts missing: %+v", ti, tr)
+		}
+		if q := &tr.Spans[1]; q.Start < root.Start || q.End > tr.Spans[2].Start {
+			t.Fatalf("trace %d queue span [%d,%d] outside arrival→parse window", ti, q.Start, q.End)
 		}
 		if infer.Aux != 1 {
 			t.Fatalf("trace %d infer version %d, want 1", ti, infer.Aux)

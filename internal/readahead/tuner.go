@@ -83,6 +83,7 @@ type Tuner struct {
 	seq       uint64 // monotonic decision counter (first decision = 1)
 
 	inferNanos *telemetry.Histogram
+	decCount   *telemetry.Counter // readahead_decisions: one per window tick
 	classCount [workload.NumClasses]*telemetry.Counter
 	flight     *telemetry.FlightRecorder[FlightEntry]
 
@@ -297,6 +298,9 @@ func (t *Tuner) MaybeTick(now time.Duration) {
 		t.dev.SetReadahead(sectors)
 	}
 	t.seq++
+	if t.decCount != nil {
+		t.decCount.Inc()
+	}
 	d := Decision{
 		Time:    now,
 		Class:   class,
@@ -355,12 +359,15 @@ func (t *Tuner) closePendingTrace() {
 
 // Instrument attaches telemetry to the tuner: readahead_infer_ns times
 // each model.Predict (the paper's 21 µs per-inference figure, measured
-// live), readahead_decision_class_<i> counts decisions per predicted
-// class, the pipeline's counters become gauges under readahead_pipeline,
-// and a flight recorder retains the last flightN decisions with the
-// feature vectors that produced them. Call before the tuner runs.
+// live), readahead_decisions counts decision windows (the tuner's
+// throughput series in MsgTimeSeries), readahead_decision_class_<i>
+// counts decisions per predicted class, the pipeline's counters become
+// gauges under readahead_pipeline, and a flight recorder retains the
+// last flightN decisions with the feature vectors that produced them.
+// Call before the tuner runs.
 func (t *Tuner) Instrument(reg *telemetry.Registry, flightN int) {
 	t.inferNanos = reg.Histogram("readahead_infer_ns")
+	t.decCount = reg.Counter("readahead_decisions")
 	for i := range t.classCount {
 		t.classCount[i] = reg.Counter(fmt.Sprintf("readahead_decision_class_%d", i))
 	}

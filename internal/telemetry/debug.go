@@ -7,20 +7,42 @@ package telemetry
 
 import (
 	"expvar"
+	"io"
 	"net/http"
 	"net/http/pprof"
 )
 
+// DebugEndpoint is one extra plain-text page on the debug mux — how an
+// embedding process (kml-served) mounts surfaces telemetry itself knows
+// nothing about, like the serving trace arena at /traces or the
+// online-learning status at /learn. Render writes the page body; an
+// error becomes a 500 with the error text.
+type DebugEndpoint struct {
+	// Path is the mux pattern, e.g. "/traces".
+	Path string
+	// Render writes the page as plain text.
+	Render func(w io.Writer) error
+}
+
 // DebugMux returns an http.ServeMux exposing reg at /metrics alongside
-// expvar and pprof. The caller owns the listener and its lifecycle; a
-// debug listener should bind loopback — it is an operator surface, not
-// a public one.
-func DebugMux(reg *Registry) *http.ServeMux {
+// expvar, pprof, and any extra plain-text endpoints. The caller owns
+// the listener and its lifecycle; a debug listener should bind
+// loopback — it is an operator surface, not a public one.
+func DebugMux(reg *Registry, extras ...DebugEndpoint) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.WriteText(w)
 	})
+	for _, ep := range extras {
+		render := ep.Render
+		mux.HandleFunc(ep.Path, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := render(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestDebugMuxMetrics: the /metrics page serves the registry's text
+// exposition with the plain-text content type.
+func TestDebugMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("debug_hits").Add(7)
+	srv := httptest.NewServer(DebugMux(reg))
+	defer srv.Close()
+
+	body, ct := get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, "debug_hits") || !strings.Contains(body, "7") {
+		t.Fatalf("/metrics missing counter: %q", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+}
+
+// TestDebugMuxExtras: extra endpoints render their pages at their paths,
+// a render error becomes a 500 carrying the error text, and the core
+// /metrics page is unaffected by the extras.
+func TestDebugMuxExtras(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("extras_alive").Inc()
+	mux := DebugMux(reg,
+		DebugEndpoint{Path: "/traces", Render: func(w io.Writer) error {
+			_, err := fmt.Fprintln(w, "trace 42 ok")
+			return err
+		}},
+		DebugEndpoint{Path: "/learn", Render: func(io.Writer) error {
+			return errors.New("controller detached")
+		}},
+	)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	body, ct := get(t, srv.URL+"/traces")
+	if body != "trace 42 ok\n" {
+		t.Fatalf("/traces body %q", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/traces content type %q", ct)
+	}
+
+	resp, err := srv.Client().Get(srv.URL + "/learn")
+	if err != nil {
+		t.Fatalf("get /learn: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 500 || !strings.Contains(string(b), "controller detached") {
+		t.Fatalf("/learn error page: status=%d body=%q", resp.StatusCode, b)
+	}
+
+	if body, _ := get(t, srv.URL+"/metrics"); !strings.Contains(body, "extras_alive") {
+		t.Fatalf("/metrics vanished with extras mounted: %q", body)
+	}
+}
+
+func get(t *testing.T, url string) (body, contentType string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("get %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("get %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return string(b), resp.Header.Get("Content-Type")
+}

@@ -106,6 +106,19 @@ func (h *Histogram) Observe(ns int64) {
 	h.buckets[bits.Len64(v)&(NumBuckets-1)].Add(1)
 }
 
+// LoadBuckets copies the current bucket counts into dst. Each bucket is
+// loaded atomically one at a time — observations racing with the copy
+// land wholly in or wholly out of it — and nothing is allocated, so the
+// time-series recorder (internal/telemetry/tsrec) can snapshot on its
+// fixed-interval tick without disturbing the paths it measures.
+//
+//kml:hotpath
+func (h *Histogram) LoadBuckets(dst *[NumBuckets]uint64) {
+	for i := range h.buckets {
+		dst[i] = h.buckets[i].Load()
+	}
+}
+
 // Count returns the number of observations (the sum over all buckets).
 func (h *Histogram) Count() uint64 {
 	var n uint64

@@ -1,0 +1,99 @@
+// Package tsrec captures metric time series: a fixed-interval recorder
+// that snapshots counter deltas and histogram quantiles from a
+// telemetry.Registry into a keep-latest ring, so every benchmark and
+// smoke run gets a throughput/p50/p95/p99-over-time record instead of a
+// single point-in-time scrape. The collection tick obeys the same
+// kernel-portability constraints as the primitives it reads: integer
+// only, allocation-free, with quantile ranks computed in fixed-width
+// arithmetic (math/bits 128-bit intermediates, never floats).
+//
+// This file holds the kernelspace-clean primitives — the Point slot
+// type and the integer quantile over bucket deltas. The recorder, the
+// ticker goroutine, and the wire codec live in the sibling files.
+//
+//kml:kernelspace
+package tsrec
+
+import (
+	"math/bits"
+
+	"repro/internal/telemetry"
+)
+
+// Capacity limits of one recorder. The fixed Point arrays keep the ring
+// slot a flat value (one copy per tick, no pointers); a recorder
+// watching more series than this is mis-wired, not under-provisioned.
+const (
+	// MaxCounters bounds the counters one recorder watches.
+	MaxCounters = 16
+	// MaxHists bounds the histograms one recorder watches.
+	MaxHists = 8
+)
+
+// Point is one tick's observation: counter deltas and per-histogram
+// interval count + quantiles since the previous tick. It is a flat
+// fixed-size value — the ring slot type — with entries beyond the
+// recorder's configured series left zero.
+type Point struct {
+	// TimeNanos is the tick's wall-clock UnixNano stamp, taken by the
+	// caller (the recorder never reads the clock itself).
+	TimeNanos int64
+	// Deltas[i] is counter i's increase over the interval.
+	Deltas [MaxCounters]uint64
+	// Counts[i] is histogram i's observations during the interval.
+	Counts [MaxHists]uint64
+	// P50/P95/P99 are histogram i's interval quantiles in nanoseconds,
+	// estimated from the bucket deltas (0 for an empty interval).
+	P50 [MaxHists]int64
+	P95 [MaxHists]int64
+	P99 [MaxHists]int64
+}
+
+// quantilePM estimates the pm-per-mille quantile (e.g. 500, 950, 990)
+// over one interval's bucket deltas, integer-only: the rank is
+// ceil(count·pm/1000) and the in-bucket interpolation is a 128-bit
+// mul/div, so the tick path never touches floating point. Mirrors the
+// userspace HistogramSnapshot.Quantile within its bucket precision.
+//
+//kml:hotpath
+func quantilePM(b *[telemetry.NumBuckets]uint64, count uint64, pm uint64) int64 {
+	if count == 0 {
+		return 0
+	}
+	if pm > 1000 {
+		pm = 1000
+	}
+	// rank = ceil(count*pm/1000) in [1, count]. The 128-bit product
+	// keeps huge interval counts exact; pm <= 1000 guarantees the
+	// quotient fits (hi < 1000), so Div64 cannot trap.
+	hi, lo := bits.Mul64(count, pm)
+	rank, rem := bits.Div64(hi, lo, 1000)
+	if rem != 0 {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	var cum uint64
+	for i := 0; i < telemetry.NumBuckets; i++ {
+		bc := b[i]
+		if bc == 0 {
+			continue
+		}
+		if cum+bc >= rank {
+			loB := telemetry.BucketLower(i)
+			hiB := telemetry.BucketUpper(i)
+			// loB + (hiB-loB)*(rank-cum)/bc, again via the 128-bit
+			// intermediate: the result never exceeds the bucket span,
+			// so the quotient's high word is always below bc.
+			phi, plo := bits.Mul64(uint64(hiB-loB), rank-cum)
+			frac, _ := bits.Div64(phi, plo, bc)
+			return loB + int64(frac)
+		}
+		cum += bc
+	}
+	return telemetry.BucketUpper(telemetry.NumBuckets - 1) // unreachable: rank <= count
+}

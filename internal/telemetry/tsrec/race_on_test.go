@@ -1,0 +1,9 @@
+//go:build race
+
+package tsrec
+
+// raceEnabled reports whether the race detector is active. The overhead
+// self-check skips under it: the race runtime intercepts every atomic
+// load in the bucket walk, so the timing assertion would measure the
+// detector, not the recorder.
+const raceEnabled = true

@@ -1,0 +1,167 @@
+package tsrec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestRecorderCounterDeltas(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("reqs")
+	c.Add(100) // pre-construction counts are the baseline, not a delta
+	r, err := New(reg, Config{Counters: []string{"reqs"}, Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(5)
+	r.Tick(1000)
+	c.Add(7)
+	r.Tick(2000)
+	r.Tick(3000) // idle interval
+
+	s := r.Series()
+	if len(s.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(s.Points))
+	}
+	if got := []uint64{s.Points[0].Deltas[0], s.Points[1].Deltas[0], s.Points[2].Deltas[0]}; got[0] != 5 || got[1] != 7 || got[2] != 0 {
+		t.Fatalf("deltas = %v, want [5 7 0]", got)
+	}
+	for i, want := range []int64{1000, 2000, 3000} {
+		if s.Points[i].TimeNanos != want {
+			t.Fatalf("point %d time = %d, want %d", i, s.Points[i].TimeNanos, want)
+		}
+	}
+	if len(s.Counters) != 1 || s.Counters[0] != "reqs" {
+		t.Fatalf("counter names = %v", s.Counters)
+	}
+}
+
+func TestRecorderHistQuantiles(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := reg.Histogram("lat")
+	r, err := New(reg, Config{Hists: []string{"lat"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 observations in one log2 bucket [1024, 2047]: every interval
+	// quantile must land in that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1500)
+	}
+	r.Tick(1)
+	p := r.Series().Points[0]
+	if p.Counts[0] != 100 {
+		t.Fatalf("interval count = %d, want 100", p.Counts[0])
+	}
+	for _, q := range []int64{p.P50[0], p.P95[0], p.P99[0]} {
+		if q < 1024 || q > 2047 {
+			t.Fatalf("quantile %d outside the observations' bucket [1024,2047]", q)
+		}
+	}
+	// The next interval saw nothing: counts and quantiles reset to zero
+	// even though the histogram's cumulative state kept growing... which
+	// it didn't here, but the deltas must be zero regardless.
+	r.Tick(2)
+	p = r.Series().Points[1]
+	if p.Counts[0] != 0 || p.P99[0] != 0 {
+		t.Fatalf("idle interval: count=%d p99=%d, want zeros", p.Counts[0], p.P99[0])
+	}
+	// A third interval with faster observations must reflect ONLY the
+	// new interval, not the cumulative distribution.
+	for i := 0; i < 50; i++ {
+		h.Observe(10)
+	}
+	r.Tick(3)
+	p = r.Series().Points[2]
+	if p.Counts[0] != 50 {
+		t.Fatalf("interval count = %d, want 50", p.Counts[0])
+	}
+	if p.P99[0] > 15 {
+		t.Fatalf("interval p99 = %d, want <= 15 (bucket of 10)", p.P99[0])
+	}
+}
+
+func TestRecorderKeepLatest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, err := New(reg, Config{Counters: []string{"c"}, Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		r.Tick(int64(i))
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Cap())
+	}
+	s := r.Series()
+	for i, want := range []int64{7, 8, 9, 10} {
+		if s.Points[i].TimeNanos != want {
+			t.Fatalf("retained times = %v..., want newest 7..10", s.Points[i].TimeNanos)
+		}
+	}
+}
+
+func TestRecorderConfigErrors(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil registry accepted")
+	}
+	if _, err := New(reg, Config{Counters: make([]string, MaxCounters+1)}); err == nil {
+		t.Fatal("too many counters accepted")
+	}
+	if _, err := New(reg, Config{Hists: make([]string, MaxHists+1)}); err == nil {
+		t.Fatal("too many histograms accepted")
+	}
+	if _, err := New(reg, Config{Capacity: MaxRingCapacity + 1}); err == nil {
+		t.Fatal("excessive capacity accepted")
+	}
+}
+
+func TestRecorderStartStop(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := reg.Counter("c")
+	r, err := New(reg, Config{Interval: time.Millisecond, Counters: []string{"c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Len() < 2 {
+		c.Inc()
+		if time.Now().After(deadline) {
+			t.Fatal("recorder never ticked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	r.Stop() // idempotent
+	s := r.Series()
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].TimeNanos <= s.Points[i-1].TimeNanos {
+			t.Fatalf("timestamps not monotonic: %d then %d", s.Points[i-1].TimeNanos, s.Points[i].TimeNanos)
+		}
+	}
+}
+
+func TestQuantilePMBounds(t *testing.T) {
+	var b [telemetry.NumBuckets]uint64
+	if got := quantilePM(&b, 0, 990); got != 0 {
+		t.Fatalf("empty interval quantile = %d, want 0", got)
+	}
+	// Overflow-hostile shape: a huge count in the top bucket must not
+	// trap in the 128-bit rank division and must return inside it.
+	b[telemetry.NumBuckets-1] = 1 << 62
+	got := quantilePM(&b, 1<<62, 990)
+	if got < telemetry.BucketLower(telemetry.NumBuckets-1) {
+		t.Fatalf("quantile %d below the only occupied bucket", got)
+	}
+	// pm > 1000 clamps to the maximum rather than overranking.
+	if got2 := quantilePM(&b, 1<<62, 5000); got2 != got {
+		if got2 < telemetry.BucketLower(telemetry.NumBuckets-1) {
+			t.Fatalf("clamped quantile %d below bucket", got2)
+		}
+	}
+}

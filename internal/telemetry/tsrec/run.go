@@ -1,0 +1,41 @@
+// The ticker goroutine: userspace lifecycle around the alloc-free Tick.
+// Start/Stop are idempotent-enough for one owner (the serving process);
+// the recorder itself stays usable after Stop — an operator can keep
+// reading Series from a drained server.
+package tsrec
+
+import "time"
+
+// Start launches the capture goroutine, ticking every configured
+// interval until Stop. Calling Start on a running recorder is a no-op.
+func (r *Recorder) Start() {
+	if r.stop != nil {
+		return
+	}
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(time.Duration(r.intervalNS))
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				r.Tick(now.UnixNano())
+			}
+		}
+	}(r.stop, r.done)
+}
+
+// Stop halts the capture goroutine and waits for it to exit. Calling
+// Stop on a stopped (or never-started) recorder is a no-op.
+func (r *Recorder) Stop() {
+	if r.stop == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+	r.stop, r.done = nil, nil
+}

@@ -1,0 +1,182 @@
+package tsrec
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func sampleSeries() Series {
+	s := Series{
+		IntervalNanos: 1_000_000_000,
+		Counters:      []string{"mserve_rows", "mserve_errors"},
+		Hists:         []string{"mserve_infer_ns"},
+		Points:        make([]Point, 3),
+	}
+	for i := range s.Points {
+		p := &s.Points[i]
+		p.TimeNanos = int64(1000 * (i + 1))
+		p.Deltas[0] = uint64(10 * (i + 1))
+		p.Deltas[1] = uint64(i)
+		p.Counts[0] = uint64(100 + i)
+		p.P50[0] = 1500
+		p.P95[0] = 3000
+		p.P99[0] = 6000
+	}
+	return s
+}
+
+func TestSeriesRoundTrip(t *testing.T) {
+	in := sampleSeries()
+	b := AppendSeries(nil, in)
+	out, err := ParseSeries(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.IntervalNanos != in.IntervalNanos {
+		t.Fatalf("interval %d != %d", out.IntervalNanos, in.IntervalNanos)
+	}
+	if len(out.Counters) != 2 || out.Counters[0] != "mserve_rows" || out.Counters[1] != "mserve_errors" {
+		t.Fatalf("counters = %v", out.Counters)
+	}
+	if len(out.Hists) != 1 || out.Hists[0] != "mserve_infer_ns" {
+		t.Fatalf("hists = %v", out.Hists)
+	}
+	if len(out.Points) != 3 {
+		t.Fatalf("points = %d", len(out.Points))
+	}
+	for i := range out.Points {
+		if out.Points[i] != in.Points[i] {
+			t.Fatalf("point %d: %+v != %+v", i, out.Points[i], in.Points[i])
+		}
+	}
+	if again := AppendSeries(nil, out); !bytes.Equal(again, b) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+func TestSeriesRoundTripEmpty(t *testing.T) {
+	b := AppendSeries(nil, Series{})
+	out, err := ParseSeries(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Counters) != 0 || len(out.Hists) != 0 || len(out.Points) != 0 {
+		t.Fatalf("empty series decoded as %+v", out)
+	}
+	if again := AppendSeries(nil, out); !bytes.Equal(again, b) {
+		t.Fatal("empty re-encoding differs")
+	}
+}
+
+func TestSeriesClamping(t *testing.T) {
+	s := Series{
+		Counters: make([]string, MaxCounters+5),
+		Hists:    make([]string, MaxHists+5),
+		Points:   make([]Point, MaxWirePoints+10),
+	}
+	for i := range s.Counters {
+		s.Counters[i] = "c"
+	}
+	for i := range s.Hists {
+		s.Hists[i] = string(bytes.Repeat([]byte{'h'}, MaxSeriesName+50))
+	}
+	for i := range s.Points {
+		s.Points[i].TimeNanos = int64(i)
+	}
+	s.Counters[0] = "" // empty name encodes as "?"
+	out, err := ParseSeries(AppendSeries(nil, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Counters) != MaxCounters || len(out.Hists) != MaxHists || len(out.Points) != MaxWirePoints {
+		t.Fatalf("clamped to %d/%d/%d", len(out.Counters), len(out.Hists), len(out.Points))
+	}
+	if out.Counters[0] != "?" {
+		t.Fatalf("empty name encoded as %q", out.Counters[0])
+	}
+	if len(out.Hists[0]) != MaxSeriesName {
+		t.Fatalf("name length %d, want truncation to %d", len(out.Hists[0]), MaxSeriesName)
+	}
+	// Newest points are the ones kept.
+	if out.Points[0].TimeNanos != 10 || out.Points[MaxWirePoints-1].TimeNanos != int64(MaxWirePoints+9) {
+		t.Fatalf("kept range [%d, %d], want the newest", out.Points[0].TimeNanos, out.Points[MaxWirePoints-1].TimeNanos)
+	}
+}
+
+func TestParseSeriesHostile(t *testing.T) {
+	good := AppendSeries(nil, sampleSeries())
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     good[:8],
+		"truncated names":  good[:11],
+		"truncated points": good[:len(good)-1],
+		"trailing byte":    append(append([]byte(nil), good...), 0),
+		"zero name len": func() []byte {
+			b := append([]byte(nil), good...)
+			b[9] = 0 // first counter's name length
+			return b
+		}(),
+		"excess counters": func() []byte {
+			b := append([]byte(nil), good...)
+			b[8] = MaxCounters + 1
+			return b
+		}(),
+		"lying npoints": func() []byte {
+			b := append([]byte(nil), good...)
+			// npoints lives right after the two names + one hist name.
+			off := 8 + 1 + 1 + len("mserve_rows") + 1 + len("mserve_errors") + 1 + 1 + len("mserve_infer_ns")
+			b[off] = 200
+			return b
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := ParseSeries(b); err == nil {
+			t.Fatalf("%s: hostile input accepted", name)
+		}
+	}
+}
+
+func FuzzTimeSeriesDecode(f *testing.F) {
+	f.Add(AppendSeries(nil, sampleSeries()))
+	f.Add(AppendSeries(nil, Series{}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := ParseSeries(b)
+		if err != nil {
+			return
+		}
+		if len(s.Counters) > MaxCounters || len(s.Hists) > MaxHists || len(s.Points) > MaxWirePoints {
+			t.Fatalf("decoded series exceeds wire bounds: %d/%d/%d", len(s.Counters), len(s.Hists), len(s.Points))
+		}
+		if again := AppendSeries(nil, s); !bytes.Equal(again, b) {
+			t.Fatalf("Append(Parse(b)) != b:\n in: %x\nout: %x", b, again)
+		}
+	})
+}
+
+// TestTickAllocFree pins the collection path at zero allocations — the
+// recorder exists to watch the serving path without becoming a load on
+// it, so a tick that allocates is a regression even if it is fast.
+func TestTickAllocFree(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	r, err := New(reg, Config{
+		Counters: []string{"a", "b", "c"},
+		Hists:    []string{"h1", "h2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("h1")
+	now := int64(0)
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Observe(1500)
+		now += 1000
+		r.Tick(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("Tick allocates %.1f per op, want 0", allocs)
+	}
+}
