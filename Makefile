@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke overhead-check bench-json bench-ratchet ci clean
+.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke overhead-check bench-json bench-ratchet ci clean
 
 all: build
 
@@ -73,12 +73,18 @@ online-smoke:
 top-smoke:
 	sh scripts/top_smoke.sh
 
+# End-to-end smoke of cross-connection batch coalescing: boot kml-served
+# with a gather window, sweep open-loop load from kml-loadgen across 128
+# connections, assert zero errors and a mean achieved batch > 1.
+loadgen-smoke:
+	sh scripts/loadgen_smoke.sh
+
 # Regenerate the hot-path benchmark snapshot: single-sample vs batched
 # inference (float64/float32/Q16.16) and one training iteration, as
 # machine-readable JSON, best-of-BENCHCOUNT per metric. BENCHTIME and
 # BENCHCOUNT shorten runs for smoke checks.
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR8.json
+	sh scripts/bench_json.sh BENCH_PR9.json
 
 # Compare the two newest committed benchmark snapshots; fail on >15%
 # regressions that are not on the allowlist in the script.
@@ -95,7 +101,7 @@ overhead-check:
 	$(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/dtrace/
 	$(GO) test -run TestTimeSeriesOverheadBudget -count=1 -v ./internal/telemetry/tsrec/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke overhead-check vet-strict bench-ratchet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke overhead-check vet-strict bench-ratchet
 
 clean:
 	$(GO) clean ./...

@@ -15,8 +15,11 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -26,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dtrace"
 	"repro/internal/features"
+	"repro/internal/mserve"
 	"repro/internal/nn"
 	"repro/internal/readahead"
 	"repro/internal/sim"
@@ -367,6 +371,94 @@ func BenchmarkE10_TimeSeriesTick(b *testing.B) {
 		rec.Tick(int64(i + 1))
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ts_tick_ns")
+}
+
+// BenchmarkE11_CoalescedServe measures the cross-connection coalesced
+// serving loop end to end: an in-process server with a 100us gather
+// window on a unix socket, 32 concurrent connections each streaming
+// single-row Infer requests, every gathered batch executed as one fused
+// PredictBatch. coalesced_ns_per_sample is wall-clock per served row
+// across the whole fleet — the number EXPERIMENTS.md E11 compares
+// against the uncoalesced serving hop, and the snapshot metric
+// scripts/bench_json.sh records.
+func BenchmarkE11_CoalescedServe(b *testing.B) {
+	dir := b.TempDir()
+	reg, err := mserve.OpenRegistry(filepath.Join(dir, "registry"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := mserve.NewServer(mserve.Config{
+		Registry:       reg,
+		MaxConns:       64,
+		CoalesceWindow: 100 * time.Microsecond,
+		CoalesceMax:    32, // the fleet size: full batches execute without waiting out the window
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	net := nn.NewNetwork(
+		nn.NewLinear(4, 8, rng),
+		nn.NewSigmoid(),
+		nn.NewLinear(8, 4, rng),
+	)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := srv.Deploy(mserve.KindNN, "bench", buf.Bytes()); err != nil {
+		b.Fatal(err)
+	}
+	sock := filepath.Join(dir, "kml.sock")
+	go func() {
+		if err := srv.ListenAndServe("unix", sock); err != nil {
+			b.Error(err)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b.Cleanup(func() { srv.Shutdown(5 * time.Second) })
+
+	const fleet = 32
+	clients := make([]*mserve.Client, fleet)
+	for c := range clients {
+		cl, err := mserve.Dial("unix", sock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cl.Close()
+		if _, _, err := cl.Infer([]float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+			b.Fatal(err)
+		}
+		clients[c] = cl
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := range clients {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := clients[c]
+			feats := []float64{0.3, 0.1, 0.7, 0.2}
+			n := b.N / fleet
+			if c < b.N%fleet {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				if _, _, err := cl.Infer(feats); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "coalesced_ns_per_sample")
 }
 
 // BenchmarkAblation_InferencePrecision compares the three matrix

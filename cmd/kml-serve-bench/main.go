@@ -3,7 +3,9 @@
 // cmd/kml-overhead's in-process numbers. The paper reports 21 µs per
 // in-kernel inference for the readahead network (§5, Table 3); this
 // bench shows where a user-space serving hop lands against that, and how
-// much of the gap batching buys back.
+// much of the gap batching buys back — client-side batching via -batch,
+// or server-side cross-connection coalescing via -selfserve with
+// -coalesce-window (no daemon required).
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -20,16 +23,29 @@ import (
 
 func main() {
 	var (
-		network = flag.String("network", "unix", "daemon network: unix or tcp")
-		addr    = flag.String("addr", "kml-served.sock", "daemon address")
-		total   = flag.Int("n", 10000, "total inferences to issue")
-		batch   = flag.Int("batch", 1, "rows per request (1 = single-inference protocol)")
-		conns   = flag.Int("conns", 1, "concurrent client connections")
-		seed    = flag.Int64("seed", 1, "seed for synthetic feature vectors")
+		network   = flag.String("network", "unix", "daemon network: unix or tcp")
+		addr      = flag.String("addr", "kml-served.sock", "daemon address")
+		total     = flag.Int("n", 10000, "total inferences to issue")
+		batch     = flag.Int("batch", 1, "rows per request (1 = single-inference protocol)")
+		conns     = flag.Int("conns", 1, "concurrent client connections")
+		seed      = flag.Int64("seed", 1, "seed for synthetic feature vectors")
+		selfserve = flag.Bool("selfserve", false, "boot an in-process server on a temp socket instead of dialing a daemon")
+		model     = flag.String("model", "testdata/models/readahead.kml", "model file to deploy for -selfserve")
+		coalWin   = flag.Duration("coalesce-window", 0, "-selfserve: cross-connection gather window (0 = coalescing off)")
+		coalMax   = flag.Int("coalesce-max", 0, "-selfserve: max rows per fused batch (0 = default)")
+		coalShard = flag.Int("coalesce-shards", 0, "-selfserve: independent gather domains (0 = 1)")
 	)
 	flag.Parse()
 	if *total <= 0 || *batch <= 0 || *conns <= 0 {
 		fatal(fmt.Errorf("n, batch and conns must be positive"))
+	}
+	if *selfserve {
+		sock, stop, err := bootSelfServe(*model, *conns, *coalWin, *coalMax, *coalShard)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		*network, *addr = "unix", sock
 	}
 
 	probe, err := mserve.Dial(*network, *addr)
@@ -122,6 +138,77 @@ func main() {
 	fmt.Printf("per-inference:   p50_us=%.1f p99_us=%.1f (paper in-kernel: 21 us)\n",
 		perRow(pct(0.50)), perRow(pct(0.99)))
 	fmt.Printf("throughput_ips=%.0f\n", float64(rows)/elapsed.Seconds())
+
+	// Coalescing report: configured window plus the batch sizes the load
+	// actually achieved, from the server's own counters.
+	st, err := func() (mserve.Stats, error) {
+		cl, err := mserve.Dial(*network, *addr)
+		if err != nil {
+			return mserve.Stats{}, err
+		}
+		defer cl.Close()
+		return cl.Stats()
+	}()
+	if err == nil && st.CoalesceWindowNS > 0 {
+		fmt.Printf("coalesce window_ns=%d max=%d batches=%d rows=%d mean_batch=%.2f\n",
+			st.CoalesceWindowNS, st.CoalesceMaxRows, st.CoalesceBatches, st.CoalesceRows,
+			st.CoalesceMeanBatch())
+	}
+}
+
+// bootSelfServe starts an in-process server on a temp unix socket with
+// the given model deployed, so the bench can measure the coalescer
+// without an external daemon. The returned stop drains connections.
+func bootSelfServe(model string, conns int, win time.Duration, maxRows, shards int) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "kml-serve-bench")
+	if err != nil {
+		return "", nil, err
+	}
+	reg, err := mserve.OpenRegistry(filepath.Join(dir, "registry"))
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	maxConns := conns + 8 // workers plus probe/stats dials
+	srv, err := mserve.NewServer(mserve.Config{
+		Registry:       reg,
+		MaxConns:       maxConns,
+		CoalesceWindow: win,
+		CoalesceMax:    maxRows,
+		CoalesceShards: shards,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	data, err := os.ReadFile(model)
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, fmt.Errorf("selfserve model: %w", err)
+	}
+	if _, err := srv.Deploy(mserve.KindNN, "bench", data); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	sock := filepath.Join(dir, "bench.sock")
+	go func() {
+		if err := srv.ListenAndServe("unix", sock); err != nil {
+			fmt.Fprintln(os.Stderr, "selfserve:", err)
+			os.Exit(1)
+		}
+	}()
+	// Wait for the socket to come up.
+	for i := 0; i < 200; i++ {
+		if _, err := os.Stat(sock); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop := func() {
+		srv.Shutdown(5 * time.Second)
+		os.RemoveAll(dir)
+	}
+	return sock, stop, nil
 }
 
 func fatal(err error) {

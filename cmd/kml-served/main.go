@@ -54,6 +54,9 @@ func main() {
 		olearnOn  = flag.Bool("olearn", false, "run the online-learning controller during -sim: drift-triggered retrain, canary deploy, auto-rollback")
 		simPoison = flag.Uint64("sim-poison", 0, "poison retrain cycle N during -sim -olearn (mislabels its examples; exercises the canary rollback)")
 		learnMZ   = flag.Int64("learn-budget-mz", 0, "drift-trigger shift budget in milli-z for -olearn (0 = default)")
+		coalWin   = flag.Duration("coalesce-window", 0, "cross-connection batch gather window, e.g. 100us (0 = coalescing off)")
+		coalMax   = flag.Int("coalesce-max", 0, "max rows gathered into one fused batch (0 = default)")
+		coalShard = flag.Int("coalesce-shards", 0, "independent gather domains; raise if the gather lock bottlenecks (0 = 1)")
 	)
 	flag.Parse()
 
@@ -68,6 +71,9 @@ func main() {
 	cfg := mserve.Config{
 		Registry: reg, MaxConns: *maxConns, DriftWindow: *driftWin,
 		TimeSeriesInterval: *tsEvery,
+		CoalesceWindow:     *coalWin,
+		CoalesceMax:        *coalMax,
+		CoalesceShards:     *coalShard,
 	}
 	if *reserveMB > 0 {
 		arena := memutil.NewArena("kml-served")
@@ -387,6 +393,11 @@ func printStatus(network, addr string) int {
 	fmt.Printf("buffer              %d/%d\n", st.BufferLen, st.BufferCap)
 	fmt.Printf("arena_live_bytes    %d\n", st.ArenaLive)
 	fmt.Printf("arena_peak_bytes    %d\n", st.ArenaPeak)
+	fmt.Printf("coalesce_window_ns  %d\n", st.CoalesceWindowNS)
+	fmt.Printf("coalesce_max        %d\n", st.CoalesceMaxRows)
+	fmt.Printf("coalesce_batches    %d\n", st.CoalesceBatches)
+	fmt.Printf("coalesce_rows       %d\n", st.CoalesceRows)
+	fmt.Printf("coalesce_mean_batch %.2f\n", st.CoalesceMeanBatch())
 
 	// The richer telemetry surface: latency percentiles per request type
 	// and the flight recorder's last served decisions.

@@ -1,0 +1,63 @@
+// Package gatherarena pins the analyzers' behavior on the coalescer's
+// pooled gather-arena shape (internal/mserve/coalesce.go): rows from many
+// connections copied into one capacity-grown arena, classes demuxed back
+// out through per-waiter views. The clean form — reslice within capacity,
+// copy in place, index-assign the demux — must pass; the tempting forms —
+// growing the arena with append or allocating the demux slice per batch —
+// must be reported, because per-request allocation in the gather/demux
+// path is exactly what the coalescer's 0 allocs/op gate forbids.
+package gatherarena
+
+// arena is one gather domain's reusable storage: a flat feature buffer
+// grown once to capacity and the per-row class scratch.
+type arena struct {
+	feats   []float64
+	classes []int
+	rows    int
+	nfeat   int
+}
+
+// gatherInto is the clean gather: extend the arena's length within its
+// existing capacity and copy the caller's rows in place. No allocation,
+// no calls — the analyzer must stay quiet.
+//
+//kml:hotpath
+func (a *arena) gatherInto(rows []float64) {
+	off := a.rows * a.nfeat
+	dst := a.feats[:off+len(rows)]
+	copy(dst[off:], rows)
+	a.feats = dst
+	a.rows += len(rows) / a.nfeat
+}
+
+// demuxInto is the clean demux: index-assign each gathered class into the
+// waiter's own preallocated view.
+//
+//kml:hotpath
+func demuxInto(dst []uint16, src []int) {
+	for i, c := range src {
+		dst[i] = uint16(c)
+	}
+}
+
+// gatherAppend grows the shared arena with append inside the hot gather —
+// past capacity that reallocates and copies the whole batch, and must be
+// reported.
+//
+//kml:hotpath
+func (a *arena) gatherAppend(rows []float64) {
+	a.feats = append(a.feats, rows...) // want:noalloc
+	a.rows += len(rows) / a.nfeat
+}
+
+// demuxAlloc builds the per-waiter class slice inside the demux — one
+// allocation per request per batch, and must be reported.
+//
+//kml:hotpath
+func (a *arena) demuxAlloc(from, n int) []uint16 {
+	out := make([]uint16, n) // want:noalloc
+	for i := 0; i < n; i++ {
+		out[i] = uint16(a.classes[from+i])
+	}
+	return out
+}

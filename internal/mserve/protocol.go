@@ -269,9 +269,17 @@ type Stats struct {
 	BufferCap     uint64 // ring capacity
 	ArenaLive     uint64 // bytes charged to the server arena
 	ArenaPeak     uint64 // arena high-water mark
+
+	// Cross-connection batch coalescing (0 window = disabled). Mean
+	// achieved batch size is CoalesceRows / CoalesceBatches — the number
+	// that says whether the gather window is amortizing the fused kernel.
+	CoalesceWindowNS uint64 // configured gather window in nanoseconds
+	CoalesceMaxRows  uint64 // configured per-batch row cap
+	CoalesceBatches  uint64 // fused batches executed
+	CoalesceRows     uint64 // rows served through coalesced batches
 }
 
-const statsFields = 17
+const statsFields = 21
 
 // AppendStats appends the stats payload.
 func AppendStats(dst []byte, st Stats) []byte {
@@ -281,6 +289,7 @@ func AppendStats(dst []byte, st Stats) []byte {
 		st.Conns, st.MaxConns, st.ConnRejects, st.ArenaRejects,
 		st.Collected, st.Processed, st.Dropped, st.BufferLen, st.BufferCap,
 		st.ArenaLive, st.ArenaPeak,
+		st.CoalesceWindowNS, st.CoalesceMaxRows, st.CoalesceBatches, st.CoalesceRows,
 	} {
 		dst = binary.LittleEndian.AppendUint64(dst, v)
 	}
@@ -304,8 +313,19 @@ func ParseStats(p []byte) (Stats, error) {
 		Collected: v[10], Processed: v[11], Dropped: v[12],
 		BufferLen: v[13], BufferCap: v[14],
 		ArenaLive: v[15], ArenaPeak: v[16],
+		CoalesceWindowNS: v[17], CoalesceMaxRows: v[18],
+		CoalesceBatches: v[19], CoalesceRows: v[20],
 	}
 	return st, nil
+}
+
+// CoalesceMeanBatch returns the mean achieved coalesced batch size, or 0
+// before any batch executed.
+func (st Stats) CoalesceMeanBatch() float64 {
+	if st.CoalesceBatches == 0 {
+		return 0
+	}
+	return float64(st.CoalesceRows) / float64(st.CoalesceBatches)
 }
 
 // AppendHealthResp appends the health payload.

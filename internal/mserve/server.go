@@ -67,6 +67,20 @@ type Config struct {
 	// TimeSeriesCapacity is how many points the recorder retains; 0
 	// means 256.
 	TimeSeriesCapacity int
+	// CoalesceWindow, when nonzero, enables cross-connection batch
+	// coalescing: concurrent Infer/BatchInfer rows from different
+	// connections are gathered for up to this long (50-200µs is the
+	// useful range) and classified in one fused PredictBatch call.
+	// Zero (the default) serves every request inline, as before.
+	CoalesceWindow time.Duration
+	// CoalesceMax caps gathered rows per coalesced batch; 0 means 64.
+	// A batch reaching the cap executes immediately without waiting out
+	// the window. Clamped to MaxBatchRows.
+	CoalesceMax int
+	// CoalesceShards is the number of independent gather domains; 0
+	// means 1. One shard maximizes achieved batch size; more shards
+	// spread the gather lock when it becomes the bottleneck.
+	CoalesceShards int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,9 +141,18 @@ type Server struct {
 	reqNanos   [numMsgTypes]*telemetry.Histogram // per-type latency, by request MsgType
 	rxBytes    [numMsgTypes]*telemetry.Counter   // per-type request bytes (frames incl. header)
 	txBytes    [numMsgTypes]*telemetry.Counter   // per-type response bytes
-	queueNanos *telemetry.Histogram              // arrival→handler-start delay
+	queueNanos *telemetry.Histogram              // arrival→infer-start delay (incl. gather wait)
 	rec        *tsrec.Recorder                   // metric time-series capture (MsgTimeSeries)
 	flight     *telemetry.FlightRecorder[MetricsDecision]
+
+	// Cross-connection batch coalescing (coalesce.go); nil when disabled.
+	// The histogram records achieved batch sizes — the distribution that
+	// proves the gather window is amortizing the fused kernel.
+	coal            *coalescer
+	connSeq         atomic.Uint64      // round-robin shard assignment
+	coalesceBatches *telemetry.Counter // mserve_coalesce_batches
+	coalesceRows    *telemetry.Counter // mserve_coalesce_rows
+	coalesceHist    *telemetry.Histogram
 
 	// learnSource, when set, snapshots the online-learning controller
 	// for MsgLearnStatus; the controller lives outside mserve
@@ -192,6 +215,12 @@ func NewServer(cfg Config) (*Server, error) {
 		}
 	}
 	s.queueNanos = s.reg.Histogram("mserve_queue_delay_ns")
+	s.coalesceBatches = s.reg.Counter("mserve_coalesce_batches")
+	s.coalesceRows = s.reg.Counter("mserve_coalesce_rows")
+	s.coalesceHist = s.reg.Histogram("mserve_coalesce_batch")
+	if cfg.CoalesceWindow > 0 {
+		s.coal = newCoalescer(cfg.CoalesceWindow, cfg.CoalesceMax, cfg.CoalesceShards)
+	}
 	s.inferences = s.reg.Counter("mserve_inferences")
 	s.rows = s.reg.Counter("mserve_rows")
 	s.errorsSent = s.reg.Counter("mserve_errors")
@@ -213,7 +242,8 @@ func NewServer(cfg Config) (*Server, error) {
 		},
 		Hists: []string{
 			"mserve_infer_ns", "mserve_batch_infer_ns",
-			"mserve_queue_delay_ns", "readahead_infer_ns",
+			"mserve_queue_delay_ns", "mserve_coalesce_batch",
+			"readahead_infer_ns",
 		},
 	})
 	if err != nil {
@@ -358,6 +388,12 @@ func (s *Server) Stats() Stats {
 		BufferLen:     uint64(s.pipeline.BufferLen()),
 		BufferCap:     uint64(s.pipeline.BufferCap()),
 	}
+	if s.coal != nil {
+		st.CoalesceWindowNS = uint64(s.coal.window.Nanoseconds())
+		st.CoalesceMaxRows = uint64(s.coal.maxRows)
+	}
+	st.CoalesceBatches = s.coalesceBatches.Load()
+	st.CoalesceRows = s.coalesceRows.Load()
 	if s.cfg.Arena != nil {
 		st.ArenaLive = uint64(s.cfg.Arena.Live())
 		st.ArenaPeak = uint64(s.cfg.Arena.Peak())
@@ -587,6 +623,9 @@ type srvConn struct {
 	tb         dtrace.Builder // per-connection span builder (alloc-free)
 	arrivalNS  int64          // current request's header-read stamp
 	dispatchNS int64          // current request's handler-start stamp
+	shard      int            // coalescer shard this connection gathers into
+	queueDone  bool           // dispatch already observed the queue delay
+	cw         coalWaiter     // this connection's coalescer parking spot
 }
 
 func (s *Server) handle(c net.Conn) {
@@ -610,6 +649,9 @@ func (s *Server) handle(c net.Conn) {
 		sc = &srvConn{s: s}
 	}
 	defer s.connPool.Put(sc)
+	if s.coal != nil {
+		sc.shard = int(s.connSeq.Add(1) % uint64(len(s.coal.shards)))
+	}
 	for {
 		if s.draining.Load() {
 			return
@@ -635,12 +677,18 @@ func (s *Server) handle(c net.Conn) {
 		}
 		start := time.Now()
 		sc.dispatchNS = start.UnixNano()
-		s.queueNanos.Observe(sc.dispatchNS - sc.arrivalNS)
+		sc.queueDone = false
 		known := int(h.Type) < numMsgTypes && s.reqNanos[h.Type] != nil
 		if known {
 			s.rxBytes[h.Type].Add(uint64(HeaderSize + len(sc.payload)))
 		}
 		typ, resp := s.dispatch(sc, h.Type, sc.payload)
+		// A coalesced inference observed its own queue delay (arrival →
+		// batch start, so the gather wait is attributed); every other
+		// request's queueing ends at dispatch.
+		if !sc.queueDone {
+			s.queueNanos.Observe(sc.dispatchNS - sc.arrivalNS)
+		}
 		if known {
 			s.reqNanos[h.Type].Observe(time.Since(start).Nanoseconds())
 		}
@@ -758,6 +806,9 @@ func (s *Server) doInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	if snap == nil {
 		return s.errorResp(sc, "no model deployed")
 	}
+	if s.coal != nil {
+		return s.doInferCoalesced(sc, snap, p)
+	}
 	inst, err := sc.instance(snap)
 	if err != nil {
 		return s.errorResp(sc, fmt.Sprintf("instantiate v%d: %v", snap.Version, err))
@@ -809,6 +860,14 @@ func (s *Server) doBatchInfer(sc *srvConn, p []byte) (MsgType, []byte) {
 	snap := s.dep.Load()
 	if snap == nil {
 		return s.errorResp(sc, "no model deployed")
+	}
+	// Coalesce small batches across connections too; a request at or
+	// above the gather capacity already amortizes the fused kernel on
+	// its own and takes the inline path below.
+	if s.coal != nil {
+		if typ, resp, ok := s.doBatchInferCoalesced(sc, snap, p); ok {
+			return typ, resp
+		}
 	}
 	inst, err := sc.instance(snap)
 	if err != nil {
