@@ -1,0 +1,59 @@
+package mserve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Drive coalescer.submit directly: a parked leader (2 rows), then two
+// 7-row submitters racing. A flusher that re-reads sh.cur after its
+// flush without re-validating capacity would gather 7 rows into a batch
+// already holding 7, overflowing maxRows=8.
+func TestReproSubmitOverflowDirect(t *testing.T) {
+	r, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Config{
+		Registry:       r,
+		CoalesceWindow: 50 * time.Millisecond,
+		CoalesceMax:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy(KindNN, "m", nnModelBytes(t, 42, 4)); err != nil {
+		t.Fatal(err)
+	}
+	const nfeat = 4
+	mk := func(rows int) ([]float64, *coalWaiter) {
+		w := &coalWaiter{}
+		w.ready()
+		w.classes = make([]uint16, rows)
+		f := make([]float64, rows*nfeat)
+		return f, w
+	}
+	for round := 0; round < 2000; round++ {
+		var wg sync.WaitGroup
+		// Leader: 2 rows, parks on the 50ms window.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, w := mk(2)
+			s.coal.submit(s, 0, w, f, 2, nfeat)
+		}()
+		time.Sleep(200 * time.Microsecond)
+		// Two 7-row submitters: the first flushes the leader's batch and
+		// re-locks; the second may open a fresh 7-row batch in between.
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				f, w := mk(7)
+				s.coal.submit(s, 0, w, f, 7, nfeat)
+			}()
+		}
+		wg.Wait()
+	}
+}
