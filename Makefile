@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke overhead-check bench-json bench-ratchet ci clean
+.PHONY: all build vet kml-vet vet-strict test race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke postmortem-smoke overhead-check bench-json bench-ratchet ci clean
 
 all: build
 
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzMetricsDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzLearnStatusDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
+	$(GO) test -run='^$$' -fuzz=FuzzBlackboxStatusDecode -fuzztime=$(FUZZTIME) ./internal/mserve/
 	$(GO) test -run='^$$' -fuzz=FuzzTracesDecode -fuzztime=$(FUZZTIME) ./internal/dtrace/
 	$(GO) test -run='^$$' -fuzz=FuzzTimeSeriesDecode -fuzztime=$(FUZZTIME) ./internal/telemetry/tsrec/
 	$(GO) test -run='^$$' -fuzz=FuzzDirectiveParse -fuzztime=$(FUZZTIME) ./internal/lint/
@@ -79,12 +80,20 @@ top-smoke:
 loadgen-smoke:
 	sh scripts/loadgen_smoke.sh
 
+# End-to-end smoke of crash forensics: boot kml-served with a black-box
+# flight recorder, drive load, SIGKILL the daemon, and assert
+# kml-postmortem reconstructs the final window (series points, traces,
+# drift trajectory) from the file alone; also covers the live-sync and
+# kml-top -from replay paths.
+postmortem-smoke:
+	sh scripts/postmortem_smoke.sh
+
 # Regenerate the hot-path benchmark snapshot: single-sample vs batched
 # inference (float64/float32/Q16.16) and one training iteration, as
 # machine-readable JSON, best-of-BENCHCOUNT per metric. BENCHTIME and
 # BENCHCOUNT shorten runs for smoke checks.
 bench-json:
-	sh scripts/bench_json.sh BENCH_PR9.json
+	sh scripts/bench_json.sh BENCH_PR10.json
 
 # Compare the two newest committed benchmark snapshots; fail on >15%
 # regressions that are not on the allowlist in the script.
@@ -100,8 +109,9 @@ overhead-check:
 	$(GO) test -run TestOverheadBudget -count=1 -v ./internal/telemetry/
 	$(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/dtrace/
 	$(GO) test -run TestTimeSeriesOverheadBudget -count=1 -v ./internal/telemetry/tsrec/
+	$(GO) test -run TestBlackboxOverheadBudget -count=1 -v ./internal/blackbox/
 
-ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke overhead-check vet-strict bench-ratchet
+ci: build vet race fuzz serve-smoke telemetry-smoke trace-smoke online-smoke top-smoke loadgen-smoke postmortem-smoke overhead-check vet-strict bench-ratchet
 
 clean:
 	$(GO) clean ./...

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/blackbox"
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/dtrace"
@@ -459,6 +460,37 @@ func BenchmarkE11_CoalescedServe(b *testing.B) {
 	wg.Wait()
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "coalesced_ns_per_sample")
+}
+
+// BenchmarkE12_BlackboxRecord measures one flight-recorder append at
+// the sampler's typical payload size (a 256-byte metrics snapshot):
+// header encode, CRC over header and payload, copy into the in-memory
+// ring, pad zeroing. This is the cost every capture pays per record
+// while the serving path runs; it must not allocate and must stay
+// under blackbox.RecordOverheadBudgetNanos (pinned by
+// blackbox.TestBlackboxOverheadBudget; blackbox_record_ns feeds
+// scripts/bench_json.sh).
+func BenchmarkE12_BlackboxRecord(b *testing.B) {
+	bb, err := blackbox.Open(blackbox.Config{
+		Path: filepath.Join(b.TempDir(), "bench.blackbox"),
+		Size: 4 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bb.Close()
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !bb.Record(blackbox.KindMetrics, int64(i+1), payload) {
+			b.Fatal("record dropped")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "blackbox_record_ns")
 }
 
 // BenchmarkAblation_InferencePrecision compares the three matrix

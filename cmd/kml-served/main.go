@@ -8,7 +8,15 @@
 // Typical use:
 //
 //	kml-served -addr /run/kml.sock -registry /var/lib/kml -deploy readahead.kml -name readahead-nn
+//	kml-served -addr /run/kml.sock -blackbox /var/lib/kml/kml.blackbox
 //	kml-served -addr /run/kml.sock -status
+//
+// With -blackbox the daemon keeps a durable flight recorder: a
+// background flusher samples the observability surfaces (metrics,
+// time series, traces, learn transitions) into a fixed-size on-disk
+// ring every -blackbox-interval, and a crash — panic, SIGQUIT, even
+// kill -9 between flushes — leaves a file kml-postmortem can
+// reconstruct the final minutes from.
 package main
 
 import (
@@ -19,9 +27,11 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/blockdev"
 	"repro/internal/core"
 	"repro/internal/features"
@@ -57,6 +67,10 @@ func main() {
 		coalWin   = flag.Duration("coalesce-window", 0, "cross-connection batch gather window, e.g. 100us (0 = coalescing off)")
 		coalMax   = flag.Int("coalesce-max", 0, "max rows gathered into one fused batch (0 = default)")
 		coalShard = flag.Int("coalesce-shards", 0, "independent gather domains; raise if the gather lock bottlenecks (0 = 1)")
+		bbPath    = flag.String("blackbox", "", "durable flight-recorder file; crash forensics via kml-postmortem (empty = off)")
+		bbSize    = flag.Int64("blackbox-size", blackbox.DefaultSize, "flight-recorder ring size in bytes")
+		bbEvery   = flag.Duration("blackbox-interval", blackbox.DefaultFlushInterval, "flight-recorder capture+flush period (bounds data loss on a hard kill)")
+		bbFsync   = flag.Bool("blackbox-fsync", false, "fsync the flight recorder on every flush (survives power loss, not just process death)")
 	)
 	flag.Parse()
 
@@ -84,6 +98,58 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// finalFlush is the crash hook: capture one last sample and force it
+	// to disk. Nil without -blackbox.
+	var bb *blackbox.Recorder
+	var finalFlush func()
+	if *bbPath != "" {
+		bb, err = blackbox.Open(blackbox.Config{
+			Path: *bbPath, Size: *bbSize,
+			FlushInterval: *bbEvery, FsyncEveryFlush: *bbFsync,
+		})
+		if err != nil {
+			fatal(fmt.Errorf("blackbox: %w", err))
+		}
+		sampler := blackbox.NewSampler(bb, srv)
+		// Capture runs from the recorder's flusher goroutine, the sync
+		// opcode's connection goroutine, and the crash hooks; the sampler
+		// keeps cursors, so serialize it.
+		var capMu sync.Mutex
+		capture := func(now int64) {
+			capMu.Lock()
+			sampler.Capture(now)
+			capMu.Unlock()
+		}
+		finalFlush = func() {
+			capture(time.Now().UnixNano())
+			_ = bb.FinalFlush()
+		}
+		bb.Start(capture)
+		srv.SetBlackboxSource(func(sync bool) mserve.BlackboxStatus {
+			if sync {
+				finalFlush()
+			}
+			st := bb.Status()
+			return mserve.BlackboxStatus{
+				Enabled: true, Records: st.Records, Dropped: st.Dropped,
+				Flushes: st.Flushes, RingBytes: st.RingBytes,
+				TornAtOpen: st.TornAtOpen, LastFlushNanos: st.LastFlushNanos,
+				Path: bb.Path(),
+			}
+		})
+		// Best-effort final capture on a main-goroutine panic (SIGKILL is
+		// unhookable — there the periodic flush bounds the loss).
+		defer func() {
+			if p := recover(); p != nil {
+				finalFlush()
+				panic(p)
+			}
+		}()
+		fmt.Printf("blackbox %s (ring %d bytes, flush every %s, %d torn at open)\n",
+			bb.Path(), bb.RingBytes(), *bbEvery, bb.Status().TornAtOpen)
+	}
+
 	if *deploy != "" {
 		data, err := os.ReadFile(*deploy)
 		if err != nil {
@@ -125,6 +191,7 @@ func main() {
 		mux := telemetry.DebugMux(srv.MetricsRegistry(),
 			telemetry.DebugEndpoint{Path: "/traces", Render: srv.WriteTraces},
 			telemetry.DebugEndpoint{Path: "/learn", Render: srv.WriteLearn},
+			telemetry.DebugEndpoint{Path: "/timeseries", Render: srv.WriteTimeSeries},
 		)
 		go func() { _ = http.Serve(dln, mux) }()
 	}
@@ -140,11 +207,21 @@ func main() {
 	fmt.Printf("kml-served listening on %s %s (registry %s)\n", *network, *addr, *registry)
 
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	select {
 	case sig := <-sigs:
+		if sig == syscall.SIGQUIT {
+			// Crash path: persist the last window, then hand the signal
+			// back to the runtime's default handler for the stack dump.
+			if finalFlush != nil {
+				finalFlush()
+			}
+			signal.Reset(syscall.SIGQUIT)
+			_ = syscall.Kill(syscall.Getpid(), syscall.SIGQUIT)
+			select {} // unreachable: the re-raised SIGQUIT kills us
+		}
 		fmt.Printf("received %s, draining...\n", sig)
 		srv.Shutdown(10 * time.Second)
 		if err := <-done; err != nil {
@@ -153,6 +230,14 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if bb != nil {
+		if finalFlush != nil {
+			finalFlush()
+		}
+		if err := bb.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "blackbox close: %v\n", err)
 		}
 	}
 	st := srv.Stats()
@@ -419,7 +504,20 @@ func printStatus(network, addr string) int {
 	}
 	printDriftSummary(snap)
 	printLearnStatus(cl)
+	printBlackboxStatus(cl)
 	return 0
+}
+
+// printBlackboxStatus renders the flight recorder's line, when one is
+// attached (a daemon without -blackbox reports the disabled zero value).
+func printBlackboxStatus(cl *mserve.Client) {
+	st, err := cl.Blackbox(false)
+	if err != nil || !st.Enabled {
+		return
+	}
+	fmt.Printf("blackbox %s ring=%d records=%d dropped=%d flushes=%d torn_at_open=%d last_flush=%s\n",
+		st.Path, st.RingBytes, st.Records, st.Dropped, st.Flushes, st.TornAtOpen,
+		time.Unix(0, st.LastFlushNanos).UTC().Format("15:04:05.000"))
 }
 
 // printLearnStatus renders the online-learning controller snapshot, when

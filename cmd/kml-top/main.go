@@ -10,18 +10,30 @@
 //	kml-top -addr /run/kml.sock                   # live console, 1s refresh
 //	kml-top -addr /run/kml.sock -once             # one frame and exit
 //	kml-top -addr /run/kml.sock -raw              # machine-readable point dump
+//	kml-top -from kml.blackbox                    # replay an archived capture
+//	kml-top -from series.bin -raw                 # dump an archived capture
+//
+// -from replays a file instead of a live socket: either a black-box
+// flight-recorder file (recovered and merged, see kml-postmortem) or a
+// raw binary series as emitted by `kml-postmortem -raw` — the operator
+// "scrubs" a dead server's final minute through the same renderer the
+// live console uses.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/blackbox"
 	"repro/internal/mserve"
+	"repro/internal/telemetry/tsrec"
 )
 
 func main() {
@@ -31,8 +43,24 @@ func main() {
 		interval = flag.Duration("interval", time.Second, "refresh period")
 		once     = flag.Bool("once", false, "render one frame and exit")
 		raw      = flag.Bool("raw", false, "dump the raw time-series points (one line per point) and exit")
+		from     = flag.String("from", "", "replay a time-series file (black-box or raw series) instead of a live socket")
 	)
 	flag.Parse()
+
+	if *from != "" {
+		ts, err := loadSeriesFile(*from)
+		if err != nil {
+			fatal(err)
+		}
+		if *raw {
+			dumpSeries(ts)
+			return
+		}
+		fmt.Printf("kml-top  (from %s)\n", *from)
+		renderSeries(os.Stdout, ts)
+		fmt.Printf("series  %d points @ %s\n", len(ts.Points), time.Duration(ts.IntervalNanos))
+		return
+	}
 
 	cl, err := mserve.Dial(*network, *addr)
 	if err != nil {
@@ -41,9 +69,11 @@ func main() {
 	defer cl.Close()
 
 	if *raw {
-		if err := dumpRaw(cl); err != nil {
+		ts, err := cl.TimeSeries()
+		if err != nil {
 			fatal(err)
 		}
+		dumpSeries(ts)
 		return
 	}
 	if *once {
@@ -70,15 +100,39 @@ func main() {
 	}
 }
 
-// dumpRaw prints the captured points as plain integers — one line per
-// point: timestamp, then every counter delta, then count/p50/p95/p99
-// per histogram. The smoke test greps this for non-empty, monotonic
-// capture.
-func dumpRaw(cl *mserve.Client) error {
-	ts, err := cl.TimeSeries()
+// loadSeriesFile reads an archived time series: a black-box file
+// (sniffed by magic, recovered with the same torn-tolerant scan
+// kml-postmortem uses, time-series records merged) or a raw binary
+// series in tsrec's canonical wire encoding.
+func loadSeriesFile(path string) (tsrec.Series, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return tsrec.Series{}, err
 	}
+	if bytes.HasPrefix(data, []byte("KMLBBOX1")) {
+		res, err := blackbox.Scan(data)
+		if err != nil {
+			return tsrec.Series{}, err
+		}
+		ts, skipped := blackbox.MergeTimeSeries(res.Records)
+		if res.Torn > 0 || skipped > 0 {
+			fmt.Fprintf(os.Stderr, "kml-top: %s: %d torn records, %d unparsable series records skipped\n",
+				path, res.Torn, skipped)
+		}
+		return ts, nil
+	}
+	ts, err := tsrec.ParseSeries(data)
+	if err != nil {
+		return tsrec.Series{}, fmt.Errorf("%s: neither a black-box file nor a raw series: %w", path, err)
+	}
+	return ts, nil
+}
+
+// dumpSeries prints the captured points as plain integers — one line
+// per point: timestamp, then every counter delta, then
+// count/p50/p95/p99 per histogram. The smoke test greps this for
+// non-empty, monotonic capture.
+func dumpSeries(ts tsrec.Series) {
 	fmt.Printf("interval_ns %d\n", ts.IntervalNanos)
 	fmt.Printf("counters %s\n", strings.Join(ts.Counters, " "))
 	fmt.Printf("hists %s\n", strings.Join(ts.Hists, " "))
@@ -94,7 +148,6 @@ func dumpRaw(cl *mserve.Client) error {
 		fmt.Println()
 	}
 	fmt.Printf("%d points\n", len(ts.Points))
-	return nil
 }
 
 // renderFrame pulls one round of surfaces and writes the console frame.
@@ -123,6 +176,38 @@ func renderFrame(w *os.File, cl *mserve.Client, clear bool) error {
 	fmt.Fprintf(w, "kml-top  %s  v%d  conns %d/%d  errors %d\n",
 		time.Now().Format("15:04:05"), st.ActiveVersion, st.Conns, st.MaxConns, st.Errors)
 
+	renderSeries(w, ts)
+
+	// Drift and learn lines from the gauge surface and MsgLearnStatus.
+	gauges := make(map[string]int64, len(snap.Metrics))
+	for _, m := range snap.Metrics {
+		if m.Kind != mserve.MetricHistogram {
+			gauges[m.Name] = m.Value
+		}
+	}
+	for _, prefix := range []string{"mserve_drift", "readahead_drift"} {
+		if _, ok := gauges[prefix+"_windows"]; !ok {
+			continue
+		}
+		state := "ok"
+		if gauges[prefix+"_drifted"] != 0 {
+			state = "DRIFTED"
+		}
+		fmt.Fprintf(w, "drift   %-15s %-8s shift %+5dmz  churn %4dpm  windows %d\n",
+			prefix, state, gauges[prefix+"_max_shift_mz"],
+			gauges[prefix+"_churn_pm"], gauges[prefix+"_windows"])
+	}
+	fmt.Fprintf(w, "learn   state=%s retrains=%d commits=%d rollbacks=%d baseline=%dpm canary=%dpm\n",
+		mserve.LearnStateName(learn.State), learn.Retrains, learn.Commits,
+		learn.Rollbacks, learn.BaselinePM, learn.CanaryPM)
+	fmt.Fprintf(w, "series  %d points @ %s  (rows total %d, inferences %d, dropped %d)\n",
+		len(ts.Points), time.Duration(ts.IntervalNanos), st.Rows, st.Inferences, st.Dropped)
+	return nil
+}
+
+// renderSeries writes the throughput and latency lines for one series —
+// shared between the live frame and the -from file replay.
+func renderSeries(w io.Writer, ts tsrec.Series) {
 	// Throughput: rows per second from the counter deltas, integer math
 	// only (delta × 1e9 / interval_ns).
 	rowsCol := tsColumn(ts.Counters, "mserve_rows")
@@ -154,32 +239,6 @@ func renderFrame(w *os.File, cl *mserve.Client, clear bool) error {
 		fmt.Fprintf(w, "%-7s p50 %8s  p95 %8s  p99 %8s  %s\n",
 			h.label, fmtNS(last.P50[hc]), fmtNS(last.P95[hc]), fmtNS(last.P99[hc]), spark(p99s))
 	}
-
-	// Drift and learn lines from the gauge surface and MsgLearnStatus.
-	gauges := make(map[string]int64, len(snap.Metrics))
-	for _, m := range snap.Metrics {
-		if m.Kind != mserve.MetricHistogram {
-			gauges[m.Name] = m.Value
-		}
-	}
-	for _, prefix := range []string{"mserve_drift", "readahead_drift"} {
-		if _, ok := gauges[prefix+"_windows"]; !ok {
-			continue
-		}
-		state := "ok"
-		if gauges[prefix+"_drifted"] != 0 {
-			state = "DRIFTED"
-		}
-		fmt.Fprintf(w, "drift   %-15s %-8s shift %+5dmz  churn %4dpm  windows %d\n",
-			prefix, state, gauges[prefix+"_max_shift_mz"],
-			gauges[prefix+"_churn_pm"], gauges[prefix+"_windows"])
-	}
-	fmt.Fprintf(w, "learn   state=%s retrains=%d commits=%d rollbacks=%d baseline=%dpm canary=%dpm\n",
-		mserve.LearnStateName(learn.State), learn.Retrains, learn.Commits,
-		learn.Rollbacks, learn.BaselinePM, learn.CanaryPM)
-	fmt.Fprintf(w, "series  %d points @ %s  (rows total %d, inferences %d, dropped %d)\n",
-		len(ts.Points), time.Duration(ts.IntervalNanos), st.Rows, st.Inferences, st.Dropped)
-	return nil
 }
 
 // tsColumn finds a named series column, -1 if absent.

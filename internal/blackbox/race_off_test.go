@@ -1,0 +1,7 @@
+//go:build !race
+
+package blackbox
+
+// raceEnabled reports whether the race detector is active; see
+// race_on_test.go.
+const raceEnabled = false

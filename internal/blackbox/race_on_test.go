@@ -1,0 +1,9 @@
+//go:build race
+
+package blackbox
+
+// raceEnabled reports whether the race detector is active. The overhead
+// self-check skips under it: the detector intercepts the mutex and the
+// CRC loop, so the timing assertion would measure the detector, not the
+// recorder.
+const raceEnabled = true

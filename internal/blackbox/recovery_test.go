@@ -1,0 +1,179 @@
+// Torn-write recovery matrix: a black box is truncated at every record
+// boundary and cut/corrupted inside every record, and recovery must
+// keep every intact record while reporting exactly the one torn tail —
+// the invariant that makes a post-SIGKILL report trustworthy.
+package blackbox
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildBox writes a box with records of deliberately varied sizes (one
+// to five sectors) and returns the file image plus each record's
+// [start, end) span within the file.
+func buildBox(t *testing.T) (img []byte, spans [][2]int, payloads [][]byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bb.bin")
+	r, err := Open(Config{Path: path, Size: MinFileSize})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	sizes := []int{100, 600, 476, 2000, 1, 1500, 0, 900}
+	off := FileHeaderSize
+	for i, n := range sizes {
+		p := testPayload(n, byte(i))
+		if !r.Record(Kind(1+i%4), int64(1000*(i+1)), p) {
+			t.Fatalf("record %d rejected", i)
+		}
+		total := alignSector(RecordHeaderSize + n)
+		spans = append(spans, [2]int{off, off + total})
+		payloads = append(payloads, p)
+		off += total
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	img, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return img, spans, payloads
+}
+
+// checkRecovered asserts the scan holds exactly records [0, n) intact.
+func checkRecovered(t *testing.T, res ScanResult, payloads [][]byte, n int) {
+	t.Helper()
+	if len(res.Records) != n {
+		t.Fatalf("recovered %d records, want %d", len(res.Records), n)
+	}
+	for i, rec := range res.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d seq %d, want %d", i, rec.Seq, i+1)
+		}
+		if string(rec.Payload) != string(payloads[i]) {
+			t.Fatalf("record %d payload corrupted in recovery", i)
+		}
+	}
+}
+
+func TestRecoveryTruncateAtEveryBoundary(t *testing.T) {
+	img, spans, payloads := buildBox(t)
+	for i, sp := range spans {
+		res, err := Scan(img[:sp[0]])
+		if err != nil {
+			t.Fatalf("boundary %d: %v", i, err)
+		}
+		if res.Torn != 0 {
+			t.Fatalf("boundary %d: clean truncation reported %d torn", i, res.Torn)
+		}
+		checkRecovered(t, res, payloads, i)
+	}
+	// And at the final boundary: everything intact.
+	res, err := Scan(img[:spans[len(spans)-1][1]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn != 0 {
+		t.Fatalf("full image reported %d torn", res.Torn)
+	}
+	checkRecovered(t, res, payloads, len(spans))
+}
+
+func TestRecoveryTruncateMidRecord(t *testing.T) {
+	img, spans, payloads := buildBox(t)
+	for i, sp := range spans {
+		// Cut points inside record i: inside the header (past the
+		// magic), just past the header, mid-payload, one byte short.
+		cuts := []int{sp[0] + 8, sp[0] + RecordHeaderSize + 1, (sp[0] + sp[1]) / 2, sp[1] - 1}
+		for _, cut := range cuts {
+			if cut <= sp[0] || cut >= sp[1] {
+				continue
+			}
+			res, err := Scan(img[:cut])
+			if err != nil {
+				t.Fatalf("record %d cut %d: %v", i, cut, err)
+			}
+			if res.Torn != 1 {
+				t.Fatalf("record %d cut %d: %d torn, want exactly 1", i, cut, res.Torn)
+			}
+			checkRecovered(t, res, payloads, i)
+		}
+	}
+}
+
+func TestRecoveryCorruptPayload(t *testing.T) {
+	img, spans, payloads := buildBox(t)
+	for i, sp := range spans {
+		if len(payloads[i]) == 0 {
+			continue // no payload byte to flip
+		}
+		mut := append([]byte(nil), img...)
+		mut[sp[0]+RecordHeaderSize] ^= 0xFF
+		res, err := Scan(mut)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if res.Torn != 1 {
+			t.Fatalf("record %d payload corruption: %d torn, want 1", i, res.Torn)
+		}
+		// Every OTHER record must survive untouched.
+		if len(res.Records) != len(spans)-1 {
+			t.Fatalf("record %d corruption dropped %d records, want 1",
+				i, len(spans)-len(res.Records))
+		}
+		for _, rec := range res.Records {
+			j := int(rec.Seq) - 1
+			if j == i {
+				t.Fatalf("corrupted record %d recovered as intact", i)
+			}
+			if string(rec.Payload) != string(payloads[j]) {
+				t.Fatalf("record %d payload damaged by record %d corruption", j, i)
+			}
+		}
+	}
+}
+
+func TestRecoveryCorruptHeader(t *testing.T) {
+	img, spans, _ := buildBox(t)
+	for i, sp := range spans {
+		mut := append([]byte(nil), img...)
+		mut[sp[0]+8] ^= 0xFF // flip a seq byte: header CRC now fails
+		res, err := Scan(mut)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if res.Torn != 1 {
+			t.Fatalf("record %d header corruption: %d torn, want 1", i, res.Torn)
+		}
+		if len(res.Records) != len(spans)-1 {
+			t.Fatalf("record %d header corruption kept %d records, want %d",
+				i, len(res.Records), len(spans)-1)
+		}
+	}
+}
+
+// TestRecoveryGarbageIsNotTorn pins the classification: sectors that do
+// not carry the record magic (zeroed ring, random junk) are ring noise,
+// not torn records — only an interrupted record write counts.
+func TestRecoveryGarbageIsNotTorn(t *testing.T) {
+	img, spans, payloads := buildBox(t)
+	mut := append([]byte(nil), img...)
+	end := spans[len(spans)-1][1]
+	for i := end; i < len(mut); i++ {
+		mut[i] = byte(i * 31)
+	}
+	// Random junk must not fake the magic at a sector boundary.
+	for off := end; off+4 <= len(mut); off += SectorSize {
+		mut[off] = 0
+	}
+	res, err := Scan(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Torn != 0 {
+		t.Fatalf("junk tail reported %d torn", res.Torn)
+	}
+	checkRecovered(t, res, payloads, len(spans))
+}

@@ -1,0 +1,67 @@
+// Package blackbox pins the analyzers' behavior on the flight
+// recorder's append shape (internal/blackbox/recorder.go): a fixed
+// header encoded into the preallocated ring, the payload copied in
+// place, the pad zeroed by stores. The clean form — index stores and
+// copy into storage that never grows — must pass; the tempting forms —
+// growing the ring with append, or computing the record timestamp in
+// float seconds — must be reported, because the Record path carries a
+// 0 allocs/op gate and the whole persistence format is integer-only.
+// The package is marked kernelspace so the float ban applies the same
+// way it would to an in-kernel recorder.
+//
+//kml:kernelspace
+package blackbox
+
+// ring is the recorder's in-memory image: fixed at open, written in
+// place, never grown.
+type ring struct {
+	buf  []byte
+	w    int
+	seq  uint64
+	drop uint64
+}
+
+// record is the clean append: bounds-checked fit, header stores, one
+// copy, zero-pad by stores. No allocation, no floats — the analyzers
+// must stay quiet.
+//
+//kml:hotpath
+func (r *ring) record(kind byte, timeNanos int64, payload []byte) bool {
+	need := 8 + len(payload)
+	if r.w+need > len(r.buf) {
+		r.w = 0
+	}
+	if need > len(r.buf) {
+		r.drop++
+		return false
+	}
+	r.seq++
+	h := r.buf[r.w : r.w+8]
+	h[0] = kind
+	h[1] = byte(r.seq)
+	h[2] = byte(timeNanos)
+	h[3] = byte(len(payload))
+	copy(r.buf[r.w+8:], payload)
+	r.w += need
+	return true
+}
+
+// recordAppend grows the ring with append inside the hot append — past
+// capacity that reallocates the whole image per record, and must be
+// reported.
+//
+//kml:hotpath
+func (r *ring) recordAppend(kind byte, payload []byte) {
+	r.buf = append(r.buf, kind)       // want:noalloc
+	r.buf = append(r.buf, payload...) // want:noalloc
+	r.w = len(r.buf)
+}
+
+// recordStamp computes the record timestamp in float seconds — the
+// persistence format is integer nanoseconds end to end, and must be
+// reported.
+//
+//kml:hotpath
+func (r *ring) recordStamp(timeNanos int64) int64 {
+	return int64(float64(timeNanos) / 1e9) // want:nofloat
+}

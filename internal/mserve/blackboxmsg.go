@@ -1,0 +1,114 @@
+// MsgBlackbox payload: the wire form of the black-box flight
+// recorder's status. Like MsgLearnStatus it is pull-based — the
+// embedding process (kml-served) registers a status source on the
+// server — and the request carries one opcode: stat (read-only) or
+// sync (force a capture and a synced flush first, so the answered path
+// names a file that is current to this instant). The response is how a
+// remote kml-postmortem locates and freshens a live server's box
+// without stopping it.
+//
+// Layout (all integers little-endian):
+//
+//	request:  u8 op                 (BlackboxStat | BlackboxSync)
+//	response:
+//	  u8  enabled                   (0 or 1)
+//	  u64 records | u64 dropped | u64 flushes | u64 ring_bytes
+//	  u64 torn_at_open
+//	  i64 last_flush_ns             (0 = never)
+//	  u16 pathlen                   (≤ MaxBlackboxPath; 0 iff no path)
+//	  pathlen bytes of path
+//
+// Every field is fixed-width and validated on decode, so the encoding
+// is canonical: AppendBlackboxStatus(ParseBlackboxStatus(b)) == b for
+// every accepted b, the same invariant the frame/metrics/learn codecs
+// keep.
+package mserve
+
+import "encoding/binary"
+
+// MsgBlackbox request opcodes.
+const (
+	// BlackboxStat reads the status without touching the file.
+	BlackboxStat = 0
+	// BlackboxSync captures + flushes + fsyncs before answering.
+	BlackboxSync = 1
+)
+
+// MaxBlackboxPath bounds the path on the wire.
+const MaxBlackboxPath = 1024
+
+// BlackboxStatus is the snapshot MsgBlackbox carries. The zero value
+// (Enabled false) is what a server without a black box answers.
+type BlackboxStatus struct {
+	Enabled        bool
+	Records        uint64 // records appended since open
+	Dropped        uint64 // records rejected (oversized)
+	Flushes        uint64 // completed write-backs
+	RingBytes      uint64 // on-disk ring capacity
+	TornAtOpen     uint64 // torn records found when the file was resumed
+	LastFlushNanos int64  // wall clock of the last flush (0 = none)
+	Path           string // black-box file path on the server's host
+}
+
+// blackboxHeaderSize is the fixed part: enabled byte, five u64
+// counters, one i64 stamp, u16 path length.
+const blackboxHeaderSize = 1 + 5*8 + 8 + 2
+
+// AppendBlackboxReq appends a MsgBlackbox request payload.
+func AppendBlackboxReq(dst []byte, op uint8) []byte {
+	return append(dst, op)
+}
+
+// ParseBlackboxReq decodes a MsgBlackbox request, rejecting unknown
+// opcodes and trailing bytes.
+func ParseBlackboxReq(p []byte) (uint8, error) {
+	if len(p) != 1 || p[0] > BlackboxSync {
+		return 0, ErrBadMessage
+	}
+	return p[0], nil
+}
+
+// AppendBlackboxStatus appends the canonical wire form of st. Paths
+// beyond MaxBlackboxPath are truncated.
+func AppendBlackboxStatus(dst []byte, st BlackboxStatus) []byte {
+	b := byte(0)
+	if st.Enabled {
+		b = 1
+	}
+	dst = append(dst, b)
+	for _, v := range [5]uint64{st.Records, st.Dropped, st.Flushes, st.RingBytes, st.TornAtOpen} {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(st.LastFlushNanos))
+	path := st.Path
+	if len(path) > MaxBlackboxPath {
+		path = path[:MaxBlackboxPath]
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(path)))
+	return append(dst, path...)
+}
+
+// ParseBlackboxStatus decodes a status payload, rejecting out-of-range
+// enabled bytes, oversized paths, and length mismatches with
+// ErrBadMessage.
+func ParseBlackboxStatus(p []byte) (BlackboxStatus, error) {
+	var st BlackboxStatus
+	if len(p) < blackboxHeaderSize || p[0] > 1 {
+		return st, ErrBadMessage
+	}
+	st.Enabled = p[0] == 1
+	off := 1
+	for _, dst := range [5]*uint64{&st.Records, &st.Dropped, &st.Flushes, &st.RingBytes, &st.TornAtOpen} {
+		*dst = binary.LittleEndian.Uint64(p[off:])
+		off += 8
+	}
+	st.LastFlushNanos = int64(binary.LittleEndian.Uint64(p[off:]))
+	off += 8
+	n := int(binary.LittleEndian.Uint16(p[off:]))
+	off += 2
+	if n > MaxBlackboxPath || len(p)-off != n {
+		return BlackboxStatus{}, ErrBadMessage
+	}
+	st.Path = string(p[off:])
+	return st, nil
+}

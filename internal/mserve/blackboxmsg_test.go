@@ -1,0 +1,109 @@
+package mserve
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBlackboxStatusRoundTrip(t *testing.T) {
+	cases := []BlackboxStatus{
+		{},
+		{Enabled: true, Records: 123, Dropped: 4, Flushes: 17, RingBytes: 4 << 20,
+			TornAtOpen: 1, LastFlushNanos: 1700000000000000000, Path: "/var/run/kml/bb.bin"},
+		{Enabled: true, Path: ""},
+	}
+	for i, st := range cases {
+		b := AppendBlackboxStatus(nil, st)
+		got, err := ParseBlackboxStatus(b)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != st {
+			t.Fatalf("case %d: %+v != %+v", i, got, st)
+		}
+		// Canonical: re-encoding the parse reproduces the bytes.
+		if !bytes.Equal(AppendBlackboxStatus(nil, got), b) {
+			t.Fatalf("case %d: encoding not canonical", i)
+		}
+	}
+}
+
+func TestBlackboxStatusHostileInput(t *testing.T) {
+	good := AppendBlackboxStatus(nil, BlackboxStatus{Enabled: true, Path: "/tmp/bb"})
+	bad := [][]byte{
+		nil,
+		good[:len(good)-1],          // truncated path
+		append(good[:0:0], good...), // mutated below
+		{2},                         // enabled out of range (and short)
+	}
+	bad[2] = append(bad[2], 0xFF) // trailing byte
+	for i, p := range bad {
+		if _, err := ParseBlackboxStatus(p); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("hostile %d: err = %v, want ErrBadMessage", i, err)
+		}
+	}
+	// Lying path length.
+	lying := append([]byte(nil), good...)
+	lying[blackboxHeaderSize-2] = 0xFF
+	lying[blackboxHeaderSize-1] = 0x7F
+	if _, err := ParseBlackboxStatus(lying); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("lying path length: err = %v", err)
+	}
+	// Out-of-range enabled byte on an otherwise well-formed payload.
+	oor := append([]byte(nil), good...)
+	oor[0] = 2
+	if _, err := ParseBlackboxStatus(oor); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("enabled=2: err = %v", err)
+	}
+}
+
+func TestBlackboxReqParse(t *testing.T) {
+	if op, err := ParseBlackboxReq(AppendBlackboxReq(nil, BlackboxSync)); err != nil || op != BlackboxSync {
+		t.Fatalf("sync req: op=%d err=%v", op, err)
+	}
+	for _, p := range [][]byte{nil, {2}, {0, 0}} {
+		if _, err := ParseBlackboxReq(p); !errors.Is(err, ErrBadMessage) {
+			t.Fatalf("hostile req %v: err = %v", p, err)
+		}
+	}
+}
+
+// TestBlackboxOverWire pins the end-to-end contract: a bare server
+// answers the disabled status, an attached source is snapshotted, and
+// the sync opcode reaches the source.
+func TestBlackboxOverWire(t *testing.T) {
+	s, sock := startServer(t, Config{})
+	cl := dial(t, sock)
+
+	st, err := cl.Blackbox(false)
+	if err != nil {
+		t.Fatalf("blackbox on bare server: %v", err)
+	}
+	if st.Enabled {
+		t.Fatalf("bare server reports an enabled black box: %+v", st)
+	}
+
+	var sawSync atomic.Bool
+	s.SetBlackboxSource(func(sync bool) BlackboxStatus {
+		if sync {
+			sawSync.Store(true)
+		}
+		return BlackboxStatus{Enabled: true, Records: 7, RingBytes: 1 << 20, Path: "/tmp/bb.bin"}
+	})
+	st, err = cl.Blackbox(true)
+	if err != nil {
+		t.Fatalf("blackbox with source: %v", err)
+	}
+	if !st.Enabled || st.Records != 7 || st.Path != "/tmp/bb.bin" {
+		t.Fatalf("status = %+v", st)
+	}
+	if !sawSync.Load() {
+		t.Fatal("BlackboxSync did not reach the source")
+	}
+	s.SetBlackboxSource(nil)
+	if st, err := cl.Blackbox(false); err != nil || st.Enabled {
+		t.Fatalf("after detach: %+v %v", st, err)
+	}
+}

@@ -292,6 +292,23 @@ func (cl *Client) TimeSeries() (tsrec.Series, error) {
 	return tsrec.ParseSeries(resp)
 }
 
+// Blackbox fetches the black-box flight recorder's status. With sync
+// the server captures, flushes, and fsyncs the box first, so the
+// returned path names a file current to this call — the handle
+// kml-postmortem uses against a live server. A server without a black
+// box answers the zero (disabled) status.
+func (cl *Client) Blackbox(sync bool) (BlackboxStatus, error) {
+	op := uint8(BlackboxStat)
+	if sync {
+		op = BlackboxSync
+	}
+	_, resp, err := cl.do(MsgBlackbox, AppendBlackboxReq(nil, op))
+	if err != nil {
+		return BlackboxStatus{}, err
+	}
+	return ParseBlackboxStatus(resp)
+}
+
 // Health reports whether the server is serving, the active version, and
 // the deployed model's input width.
 func (cl *Client) Health() (ok bool, version uint64, inDim int, err error) {

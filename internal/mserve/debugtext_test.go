@@ -78,5 +78,52 @@ func TestDebugTextRenderers(t *testing.T) {
 	_ = telemetry.DebugMux(s.MetricsRegistry(),
 		telemetry.DebugEndpoint{Path: "/traces", Render: s.WriteTraces},
 		telemetry.DebugEndpoint{Path: "/learn", Render: s.WriteLearn},
+		telemetry.DebugEndpoint{Path: "/timeseries", Render: s.WriteTimeSeries},
 	)
+}
+
+// TestWriteTimeSeries drives the /timeseries page renderer: header
+// lines always present, one "point" line per captured tick with the
+// full column set, and a trailing count.
+func TestWriteTimeSeries(t *testing.T) {
+	s, sock := startServer(t, Config{})
+	cl := dial(t, sock)
+
+	var sb strings.Builder
+	if err := s.WriteTimeSeries(&sb); err != nil {
+		t.Fatalf("WriteTimeSeries empty: %v", err)
+	}
+	page := sb.String()
+	for _, want := range []string{"interval_ns ", "counters mserve_rows", "hists ", "0 points"} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("empty /timeseries page missing %q:\n%s", want, page)
+		}
+	}
+
+	if _, err := cl.Deploy(KindNN, "m", nnModelBytes(t, 42, 4)); err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if _, _, err := cl.Infer([]float64{0.1, 0.2, 0.3, 0.4}); err != nil {
+		t.Fatalf("infer: %v", err)
+	}
+	s.TimeSeriesRecorder().Tick(123_000_000_000)
+	sb.Reset()
+	if err := s.WriteTimeSeries(&sb); err != nil {
+		t.Fatalf("WriteTimeSeries: %v", err)
+	}
+	page = sb.String()
+	if !strings.Contains(page, "point 123000000000 ") || !strings.Contains(page, "1 points") {
+		t.Fatalf("/timeseries page after tick:\n%s", page)
+	}
+	// The point line carries every column: time + counters + 4 per hist.
+	ts := s.TimeSeries()
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, "point ") {
+			fields := strings.Fields(line)
+			want := 2 + len(ts.Counters) + 4*len(ts.Hists)
+			if len(fields) != want {
+				t.Fatalf("point line has %d fields, want %d: %q", len(fields), want, line)
+			}
+		}
+	}
 }

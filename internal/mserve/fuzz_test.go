@@ -185,3 +185,36 @@ func FuzzLearnStatusDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBlackboxStatusDecode drives the MsgBlackbox status parser with
+// hostile input under the same contract: Append(Parse(b)) == b for
+// every accepted b, no panic, no over-read, no count-sized allocation
+// before validation.
+func FuzzBlackboxStatusDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendBlackboxStatus(nil, BlackboxStatus{}))
+	f.Add(AppendBlackboxStatus(nil, BlackboxStatus{
+		Enabled: true, Records: 1000, Dropped: 1, Flushes: 40,
+		RingBytes: 4 << 20, TornAtOpen: 1,
+		LastFlushNanos: 1700000000000000000, Path: "/var/run/kml/bb.bin",
+	}))
+	f.Add([]byte{2})                                              // out-of-range enabled
+	f.Add(append(AppendBlackboxStatus(nil, BlackboxStatus{}), 9)) // trailing byte
+	lying := AppendBlackboxStatus(nil, BlackboxStatus{Path: "x"})
+	lying[blackboxHeaderSize-2] = 0xFF // path length with no path bytes
+	f.Add(lying)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		st, err := ParseBlackboxStatus(b)
+		if err != nil {
+			return
+		}
+		if len(st.Path) > MaxBlackboxPath {
+			t.Fatalf("parsed status exceeds path cap: %d", len(st.Path))
+		}
+		re := AppendBlackboxStatus(nil, st)
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted payload is not canonical:\n in: %x\nout: %x", b, re)
+		}
+	})
+}

@@ -53,6 +53,14 @@ const (
 	// tsrec.AppendSeries for the layout). A server with no recorder
 	// answers the empty series.
 	MsgTimeSeries MsgType = 10
+	// MsgBlackbox: request u8 op (BlackboxStat | BlackboxSync);
+	// response is the black-box flight recorder's status (see
+	// AppendBlackboxStatus in blackboxmsg.go for the layout). BlackboxSync
+	// forces a capture + synced flush before answering, so the returned
+	// path names a file whose contents are current — the hook
+	// kml-postmortem uses to dump a still-live server. A server with no
+	// black box attached answers the zero (disabled) status.
+	MsgBlackbox MsgType = 11
 	// MsgError: server→client only; payload is a UTF-8 message.
 	MsgError MsgType = 0x7F
 )

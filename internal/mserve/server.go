@@ -159,6 +159,13 @@ type Server struct {
 	// (internal/olearn) and registers itself via SetLearnSource.
 	learnSource atomic.Pointer[func() LearnStatus]
 
+	// blackboxSource, when set, snapshots the black-box flight recorder
+	// for MsgBlackbox; the recorder lives outside mserve
+	// (internal/blackbox, wired by kml-served) and registers itself via
+	// SetBlackboxSource. The bool argument requests a synced flush
+	// before the snapshot (the BlackboxSync opcode).
+	blackboxSource atomic.Pointer[func(sync bool) BlackboxStatus]
+
 	// traces retains per-request span trees (root/parse/infer/encode)
 	// for the inference endpoints; drift holds the monitor for the
 	// CURRENTLY deployed model, rebuilt on every swap so its shape and
@@ -168,7 +175,7 @@ type Server struct {
 }
 
 // numMsgTypes sizes the per-request-type metric tables.
-const numMsgTypes = int(MsgTimeSeries) + 1
+const numMsgTypes = int(MsgBlackbox) + 1
 
 // reqMetricNames maps request MsgTypes to their per-type metric base
 // names: "<base>_ns" is the latency histogram, "<base>_rx_bytes" /
@@ -185,6 +192,7 @@ var reqMetricNames = [numMsgTypes]string{
 	MsgTraces:      "mserve_traces",
 	MsgLearnStatus: "mserve_learn",
 	MsgTimeSeries:  "mserve_timeseries",
+	MsgBlackbox:    "mserve_blackbox",
 }
 
 // flightDepth is how many served decisions the flight recorder retains.
@@ -456,6 +464,28 @@ func (s *Server) LearnStatus() LearnStatus {
 		return (*fn)()
 	}
 	return LearnStatus{BaselinePM: -1, CanaryPM: -1}
+}
+
+// SetBlackboxSource registers the black-box flight recorder's status
+// function for MsgBlackbox; nil detaches. The function is called with
+// sync=true for BlackboxSync requests and must then flush + fsync the
+// box before returning its status. Safe to call while serving.
+func (s *Server) SetBlackboxSource(fn func(sync bool) BlackboxStatus) {
+	if fn == nil {
+		s.blackboxSource.Store(nil)
+		return
+	}
+	s.blackboxSource.Store(&fn)
+}
+
+// Blackbox snapshots the attached black-box recorder, or the zero
+// (disabled) status when none is attached — a server without a black
+// box still answers MsgBlackbox cleanly.
+func (s *Server) Blackbox(sync bool) BlackboxStatus {
+	if fn := s.blackboxSource.Load(); fn != nil {
+		return (*fn)(sync)
+	}
+	return BlackboxStatus{}
 }
 
 // Drift returns the drift report for the currently deployed model, or
@@ -745,6 +775,13 @@ func (s *Server) dispatch(sc *srvConn, typ MsgType, p []byte) (MsgType, []byte) 
 	case MsgTimeSeries:
 		sc.resp = tsrec.AppendSeries(sc.resp[:0], s.TimeSeries())
 		return MsgTimeSeries, sc.resp
+	case MsgBlackbox:
+		op, err := ParseBlackboxReq(p)
+		if err != nil {
+			return s.errorResp(sc, "bad blackbox payload")
+		}
+		sc.resp = AppendBlackboxStatus(sc.resp[:0], s.Blackbox(op == BlackboxSync))
+		return MsgBlackbox, sc.resp
 	case MsgHealth:
 		snap := s.dep.Load()
 		if snap == nil {

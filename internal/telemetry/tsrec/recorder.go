@@ -106,6 +106,67 @@ func New(reg *telemetry.Registry, cfg Config) (*Recorder, error) {
 // Interval returns the configured capture period in nanoseconds.
 func (r *Recorder) Interval() int64 { return r.intervalNS }
 
+// CounterNames returns the watched counter names in column order. The
+// slice is owned by the recorder and must not be modified.
+func (r *Recorder) CounterNames() []string { return r.counterNames }
+
+// HistNames returns the watched histogram names in column order. The
+// slice is owned by the recorder and must not be modified.
+func (r *Recorder) HistNames() []string { return r.histNames }
+
+// Cursor returns the recorder's write cursor: the total number of points
+// ever captured. A reader that remembers a cursor can later fetch only
+// what arrived after it with ReadNewer.
+func (r *Recorder) Cursor() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.w
+}
+
+// ReadNewer copies points captured after cursor `since` into dst, oldest
+// first, and returns the count copied plus the cursor to pass next time.
+// Points already overwritten are silently skipped (the returned cursor
+// accounts for them) and at most len(dst) points are copied per call —
+// loop until the count is zero to drain. The destination is caller-owned,
+// so an incremental consumer (the black-box sampler) reads the ring
+// without allocating. Same contract as dtrace.Arena.ReadNewer.
+//
+//kml:hotpath
+func (r *Recorder) ReadNewer(since uint64, dst []Point) (int, uint64) {
+	if len(dst) == 0 {
+		return 0, since
+	}
+	r.mu.Lock()
+	if since > r.w {
+		// A cursor from a different recorder (or a reset); resync to
+		// "now" rather than replaying the whole ring.
+		w := r.w
+		r.mu.Unlock()
+		return 0, w
+	}
+	start := since
+	if horizon := r.w - minU64(r.w, uint64(len(r.slots))); start < horizon {
+		start = horizon
+	}
+	n := r.w - start
+	if n > uint64(len(dst)) {
+		n = uint64(len(dst))
+	}
+	for i := uint64(0); i < n; i++ {
+		dst[i] = r.slots[(start+i)&r.mask]
+	}
+	r.mu.Unlock()
+	return int(n), start + n
+}
+
+//kml:hotpath
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // Tick records one point: every watched counter's delta and every
 // watched histogram's interval count and p50/p95/p99 since the previous
 // tick, stamped nowNanos. It allocates nothing and uses no floating

@@ -4,10 +4,11 @@
 # Runs the E5 overhead micro-benchmarks (single-sample and batched
 # inference in float64/float32/Q16.16, plus one online training
 # iteration), the E8 decision-trace span tax, the E10 time-series
-# capture tick, and the E11 coalesced serving loop (32 connections
-# sharing 100us gather windows) with -benchmem and converts the output
-# to a machine-readable JSON document. The "pr" field is parsed from the
-# output name (BENCH_PR9.json -> 9).
+# capture tick, the E11 coalesced serving loop (32 connections sharing
+# 100us gather windows), and the E12 black-box flight-recorder append
+# with -benchmem and converts the output to a machine-readable JSON
+# document. The "pr" field is parsed from the output name
+# (BENCH_PR10.json -> 10).
 #
 # Each benchmark runs BENCHCOUNT times (default 3) and the snapshot
 # keeps the per-metric MINIMUM across runs: best-of-N is the stable
@@ -23,7 +24,7 @@
 # toolchain.
 set -eu
 
-out=${1:-BENCH_PR9.json}
+out=${1:-BENCH_PR10.json}
 benchtime=${BENCHTIME:-1s}
 benchcount=${BENCHCOUNT:-3}
 cd "$(dirname "$0")/.."
@@ -38,7 +39,7 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 go test -run '^$' \
-    -bench 'E5_Inference$|E5_InferenceBatched$|E5_FixedInference$|E5_FixedInferenceBatched$|E5_TrainingIteration$|E8_TraceSpan$|E10_TimeSeriesTick$|E11_CoalescedServe$' \
+    -bench 'E5_Inference$|E5_InferenceBatched$|E5_FixedInference$|E5_FixedInferenceBatched$|E5_TrainingIteration$|E8_TraceSpan$|E10_TimeSeriesTick$|E11_CoalescedServe$|E12_BlackboxRecord$' \
     -benchmem -benchtime "$benchtime" -count "$benchcount" . | tee "$tmp"
 
 goos=$(sed -n 's/^goos: //p' "$tmp" | head -1)

@@ -11,13 +11,16 @@
 #
 # Usage: sh scripts/bench_ratchet.sh
 #
-# The allowlist is currently empty. The PR4 -> PR5 E5 regressions it
-# used to carry turned out to be recording-machine noise, not code: a
-# single-run snapshot taken on a busy machine. BENCH_PR7.json was
-# recorded best-of-3 (see bench_json.sh) and comes in at or under the
-# PR4 numbers across the board, so the E5 hot paths are gated again.
+# Allowlist: BENCH_PR10.json was recorded on a measurably slower
+# instance than PR9's — the PR9 *commit* rebuilt and re-benched on the
+# PR10 recording machine reproduces the same E5_Inference (~650-755ns
+# vs the archived 532) and E10_TimeSeriesTick (~400-445ns vs 313)
+# numbers, with identical 0 allocs/op, so the deltas are machine drift,
+# not code (neither hot path is touched by PR 10). Drop both entries
+# when the next snapshot is recorded.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-exec go run ./cmd/kml-benchdiff -dir . -threshold 15
+exec go run ./cmd/kml-benchdiff -dir . -threshold 15 \
+    -allow 'E5_Inference:ns/op,E10_TimeSeriesTick:ns/op'

@@ -93,11 +93,16 @@ grep -q "joined client↔server, identical TraceID" "$TMP/probe.out"
 grep -q "─ wire" "$TMP/probe.out"
 grep -q "─ queue" "$TMP/probe.out"
 
-echo "== debug HTTP pages (/traces, /learn)"
+echo "== debug HTTP pages (/traces, /learn, /timeseries)"
 DEBUG_URL=$(sed -n 's#^debug listening on \(http://.*\)#\1#p' "$TMP/served.log")
 if [ -n "$DEBUG_URL" ] && command -v curl >/dev/null 2>&1; then
     curl -fsS "$DEBUG_URL/traces" | grep -q "traces retained"
     curl -fsS "$DEBUG_URL/learn" | grep -q "^state="
+    # /timeseries mirrors kml-top -raw: header lines plus captured points.
+    curl -fsS "$DEBUG_URL/timeseries" >"$TMP/tshttp.out"
+    grep -q "^interval_ns " "$TMP/tshttp.out"
+    grep -q "^counters mserve_rows " "$TMP/tshttp.out"
+    grep -q "^point " "$TMP/tshttp.out"
 else
     echo "   (curl or debug url unavailable; skipping HTTP checks)"
 fi
